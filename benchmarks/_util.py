@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Benchmarks print paper-style result tables.  pytest captures stdout at
+the file-descriptor level, so :func:`emit` temporarily disables the
+capture manager to reach the real terminal, and additionally persists
+every table under ``benchmarks/results/`` so the numbers survive the
+run (EXPERIMENTS.md is written from those files).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+__all__ = ["emit"]
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(text: str, request=None, filename: str | None = None) -> None:
+    """Print ``text`` past pytest's capture and persist it to disk.
+
+    ``request`` is the pytest fixture request used to reach the capture
+    manager; without it the text is printed normally (visible only with
+    ``-s``).  ``filename`` defaults to a slug of the first line.
+    """
+    if request is not None:
+        capman = request.config.pluginmanager.getplugin("capturemanager")
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print(f"\n{text}", flush=True)
+        else:  # pragma: no cover - capture plugin always present
+            print(f"\n{text}", flush=True)
+    else:
+        print(f"\n{text}", flush=True)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if filename is None:
+        first_line = text.splitlines()[0] if text else "report"
+        filename = re.sub(r"[^a-z0-9]+", "_", first_line.lower()).strip("_")[:60]
+    (RESULTS_DIR / f"{filename}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,142 @@
+"""Experiment E3 — the §8.2 naive-closure comparison.
+
+The paper reports the naive closure (Algorithm 1) being so much slower
+than Algorithms 2 and 3 that they "stopped testing it": 13 s vs. <1 s
+on Amalgam1, 23 min vs. seconds on Horse, 41 min on Plista.  The cubic
+blow-up makes full-size naive runs pointless here too, so two views are
+measured:
+
+* per-dataset: all three algorithms on identical fixed-size samples of
+  the Amalgam1/Horse/Plista FD sets — naive ≫ improved > optimized,
+* scaling: naive vs. optimized on growing samples — the naive/optimized
+  ratio grows super-linearly with the FD count, which is exactly why
+  the paper's full-size naive runs exploded into minutes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from _util import emit
+from repro.core.closure import improved_closure, naive_closure, optimized_closure
+from repro.evaluation.reporting import format_table
+from repro.model.fd import FDSet
+
+DATASETS = ["amalgam1", "horse", "plista"]
+SAMPLE_SIZE = 800  # aggregated FDs per dataset; naive is O(n^3)
+SCALING_SIZES = [200, 400, 800, 1600]
+
+_ROWS: dict[str, dict[str, float]] = {}
+_SCALING: dict[int, dict[str, float]] = {}
+
+
+def _sample(fds: FDSet, count: int, seed: int = 29) -> FDSet:
+    pairs = list(fds.items())
+    rng = random.Random(seed)
+    chosen = rng.sample(pairs, count) if count < len(pairs) else pairs
+    sampled = FDSet(fds.num_attributes)
+    for lhs, rhs in chosen:
+        sampled.add_masks(lhs, rhs)
+    return sampled
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _naive_report(request):
+    yield
+    blocks = []
+    if _ROWS:
+        headers = [
+            "Dataset", "#FDs", "naive (s)", "improved (s)",
+            "optimized (s)", "naive/optimized",
+        ]
+        rows = []
+        for name in DATASETS:
+            data = _ROWS.get(name, {})
+            if {"naive", "improved", "optimized"} <= data.keys():
+                rows.append([
+                    name,
+                    SAMPLE_SIZE,
+                    f"{data['naive']:.3f}",
+                    f"{data['improved']:.4f}",
+                    f"{data['optimized']:.4f}",
+                    f"{data['naive'] / max(data['optimized'], 1e-9):.0f}x",
+                ])
+        blocks.append(
+            format_table(
+                headers,
+                rows,
+                title="naive closure comparison, paper §8.2 (subsampled FD sets)",
+            )
+        )
+    if _SCALING:
+        rows = []
+        for count in sorted(_SCALING):
+            data = _SCALING[count]
+            if {"naive", "optimized"} <= data.keys():
+                rows.append([
+                    count,
+                    f"{data['naive']:.3f}",
+                    f"{data['optimized']:.4f}",
+                    f"{data['naive'] / max(data['optimized'], 1e-9):.0f}x",
+                ])
+        blocks.append(
+            format_table(
+                ["#FDs", "naive (s)", "optimized (s)", "ratio"],
+                rows,
+                title="naive vs. optimized scaling (horse FD-set samples): "
+                "the ratio grows with the input",
+            )
+        )
+    if blocks:
+        emit(
+            "\n\n".join(blocks),
+            request,
+            filename="naive_closure_comparison",
+        )
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_naive_closure(benchmark, name, discovery):
+    sampled = _sample(discovery.fds(name), SAMPLE_SIZE)
+    benchmark.pedantic(
+        naive_closure, args=(sampled.copy(),), rounds=1, iterations=1
+    )
+    _ROWS.setdefault(name, {})["naive"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_improved_closure(benchmark, name, discovery):
+    sampled = _sample(discovery.fds(name), SAMPLE_SIZE)
+    benchmark.pedantic(
+        improved_closure, args=(sampled.copy(),), rounds=3, iterations=1
+    )
+    _ROWS.setdefault(name, {})["improved"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_optimized_closure(benchmark, name, discovery):
+    sampled = _sample(discovery.fds(name), SAMPLE_SIZE)
+    benchmark.pedantic(
+        optimized_closure, args=(sampled.copy(),), rounds=3, iterations=1
+    )
+    _ROWS.setdefault(name, {})["optimized"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("count", SCALING_SIZES)
+def test_naive_scaling(benchmark, count, discovery):
+    sampled = _sample(discovery.fds("horse"), count)
+    benchmark.pedantic(
+        naive_closure, args=(sampled.copy(),), rounds=1, iterations=1
+    )
+    _SCALING.setdefault(count, {})["naive"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("count", SCALING_SIZES)
+def test_optimized_scaling(benchmark, count, discovery):
+    sampled = _sample(discovery.fds("horse"), count)
+    benchmark.pedantic(
+        optimized_closure, args=(sampled.copy(),), rounds=3, iterations=1
+    )
+    _SCALING.setdefault(count, {})["optimized"] = benchmark.stats.stats.mean

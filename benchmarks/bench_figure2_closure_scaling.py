@@ -1,0 +1,83 @@
+"""Experiment E2 — the paper's Figure 2.
+
+Closure runtime as a function of the number of input FDs, improved vs.
+optimized, on random samples of the MusicBrainz-like FD set with the
+attribute count held constant (the paper samples its 12M MusicBrainz
+FDs the same way).
+
+Expected shape (paper §8.2): both algorithms scale almost linearly in
+the number of FDs, and the optimized algorithm is consistently faster
+— 4× to 16× in the paper's range, growing with the sample size.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from _util import emit
+from repro.core.closure import improved_closure, optimized_closure
+from repro.evaluation.reporting import format_table
+from repro.model.fd import FDSet
+
+FRACTIONS = [0.125, 0.25, 0.5, 1.0]
+
+_SERIES: dict[int, dict[str, float]] = {}
+
+
+def _sample(fds: FDSet, fraction: float, seed: int = 13) -> FDSet:
+    pairs = list(fds.items())
+    count = max(1, int(len(pairs) * fraction))
+    rng = random.Random(seed)
+    chosen = rng.sample(pairs, count) if count < len(pairs) else pairs
+    sampled = FDSet(fds.num_attributes)
+    for lhs, rhs in chosen:
+        sampled.add_masks(lhs, rhs)
+    return sampled
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _figure2_report(request):
+    yield
+    if not _SERIES:
+        return
+    headers = ["#FDs (aggregated)", "improved (s)", "optimized (s)", "speedup"]
+    rows = []
+    for count in sorted(_SERIES):
+        data = _SERIES[count]
+        if "improved" in data and "optimized" in data:
+            speedup = data["improved"] / max(data["optimized"], 1e-9)
+            rows.append([
+                count,
+                f"{data['improved']:.4f}",
+                f"{data['optimized']:.4f}",
+                f"{speedup:.1f}x",
+            ])
+    emit(
+        format_table(
+            headers,
+            rows,
+            title="Figure 2 (scaled): closure runtime vs. number of input FDs",
+        ),
+        request,
+        filename="figure2_closure_scaling",
+    )
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_improved_closure_scaling(benchmark, fraction, discovery):
+    sampled = _sample(discovery.fds("musicbrainz"), fraction)
+    benchmark.pedantic(
+        improved_closure, args=(sampled.copy(),), rounds=3, iterations=1
+    )
+    _SERIES.setdefault(len(sampled), {})["improved"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_optimized_closure_scaling(benchmark, fraction, discovery):
+    sampled = _sample(discovery.fds("musicbrainz"), fraction)
+    benchmark.pedantic(
+        optimized_closure, args=(sampled.copy(),), rounds=3, iterations=1
+    )
+    _SERIES.setdefault(len(sampled), {})["optimized"] = benchmark.stats.stats.mean

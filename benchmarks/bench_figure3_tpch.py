@@ -1,0 +1,80 @@
+"""Experiment E4 — the paper's Figure 3: normalizing denormalized TPC-H.
+
+The universal relation (all eight tables joined, nation/region twice)
+is normalized fully automatically; the recovered schema is compared to
+the original snowflake.
+
+Expected shape (paper §8.3):
+
+* every original relation is identifiable in the result ("Normalize
+  almost perfectly restored the original schema"),
+* all selected keys and foreign keys are correct w.r.t. the original,
+* two characteristic flaws: the fact-table side is decomposed "a bit
+  too far", and the constant ``o_shippriority`` (constant in real
+  TPC-H) is absorbed by whichever relation splits first — the paper
+  observes it landing in REGION.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit
+from repro.core.normalize import Normalizer
+from repro.datagen.tpch import TPCH_GOLD
+from repro.discovery.precomputed import PrecomputedFDs
+from repro.evaluation.metrics import evaluate_schema_recovery
+from repro.evaluation.snowflake import schema_tree
+
+_REPORT: list[str] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _figure3_report(request):
+    yield
+    for text in _REPORT:
+        emit(text, request, filename="figure3_tpch_recovery")
+
+
+def test_normalize_tpch_universal(benchmark, datasets, discovery):
+    universal = datasets["tpch"]
+    fds = discovery.fds("tpch")
+    normalizer = Normalizer(
+        algorithm=PrecomputedFDs({universal.name: fds})
+    )
+    result = benchmark.pedantic(
+        normalizer.run, args=(universal,), rounds=1, iterations=1
+    )
+
+    report = evaluate_schema_recovery(result.schema, TPCH_GOLD)
+    lines = [
+        "Figure 3 (scaled): BCNF normalization of denormalized TPC-H",
+        "=" * 60,
+        schema_tree(result.schema),
+        "",
+        report.to_str(),
+        "",
+        f"values: {result.original_values} -> {result.total_values}",
+        f"decompositions: {len(result.steps)}",
+    ]
+    shippriority_home = next(
+        (
+            instance.name
+            for instance in result.instances.values()
+            if "o_shippriority" in instance.columns
+        ),
+        "?",
+    )
+    lines.append(
+        f"o_shippriority (constant) landed in: {shippriority_home} "
+        "(the paper observes the same flaw: it lands in REGION)"
+    )
+    _REPORT.append("\n".join(lines))
+
+    # Shape assertions — who wins, not exact numbers.
+    assert report.pair_recall > 0.85
+    assert report.pair_precision > 0.85
+    assert len(report.perfectly_recovered) >= 6
+    assert report.key_accuracy == 1.0
+    rebuilt = result.reconstruct(universal.name)
+    assert sorted(rebuilt.iter_rows()) == sorted(universal.iter_rows())

@@ -1,0 +1,73 @@
+"""Shared dataset fixtures for the benchmark harness.
+
+Everything expensive (dataset generation, FD discovery) is session-
+scoped and cached, so a full ``pytest benchmarks/ --benchmark-only``
+run performs each discovery exactly once and the individual benchmarks
+measure exactly the component they name.
+
+All datasets are the scaled-down stand-ins documented in DESIGN.md §3;
+absolute times are therefore not comparable to the paper's Table 3,
+but the *relative* behaviour (algorithm ordering, scaling curves,
+speedup factors) is what each benchmark reports.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.core.closure import optimized_closure
+from repro.datagen.musicbrainz import denormalized_musicbrainz
+from repro.datagen.profiles import (
+    amalgam_like,
+    flight_like,
+    horse_like,
+    plista_like,
+)
+from repro.datagen.tpch import denormalized_tpch
+from repro.discovery.hyfd import HyFD
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """The six Table 3 datasets (scaled; see DESIGN.md §3)."""
+    return {
+        "horse": horse_like(),
+        "plista": plista_like(),
+        "amalgam1": amalgam_like(),
+        "flight": flight_like(),
+        "musicbrainz": denormalized_musicbrainz(),
+        "tpch": denormalized_tpch(),
+    }
+
+
+class DiscoveryCache:
+    """Runs HyFD at most once per dataset, remembering the wall time."""
+
+    def __init__(self, datasets):
+        self._datasets = datasets
+        self._fds = {}
+        self.seconds = {}
+
+    def fds(self, name):
+        if name not in self._fds:
+            started = time.perf_counter()
+            self._fds[name] = HyFD().discover(self._datasets[name])
+            self.seconds[name] = time.perf_counter() - started
+        return self._fds[name]
+
+    def extended(self, name):
+        return optimized_closure(self.fds(name))
+
+    def instance(self, name):
+        return self._datasets[name]
+
+
+@pytest.fixture(scope="session")
+def discovery(datasets):
+    return DiscoveryCache(datasets)

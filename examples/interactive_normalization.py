@@ -1,0 +1,108 @@
+"""Semi-automatic normalization: the user in the loop (paper §3/§7).
+
+Normalize is "(semi-)automatic": at every decomposition the ranked
+violating FDs are shown and a human may pick one, strip shared
+attributes from its RHS, or stop normalizing a relation whose
+remaining candidates look accidental.
+
+This example demonstrates both session styles on the paper's address
+dataset extended with an accidental FD:
+
+1. a *scripted* session (:class:`ScriptedDecider`) — the replayable
+   form used in tests and batch pipelines,
+2. an optional *live* session (``--live``) that prompts on stdin via
+   :class:`CallbackDecider`, like the paper's console tool.
+
+Run with::
+
+    python examples/interactive_normalization.py [--live]
+"""
+
+import argparse
+
+from repro import CallbackDecider, Normalizer, ScriptedDecider
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+
+
+def tricky_dataset() -> RelationInstance:
+    """Table 1 plus a sparse column that creates an accidental FD.
+
+    ``Nickname`` is almost always NULL; the two non-NULL values make
+    ``Nickname → First`` (and more) hold by pure coincidence — exactly
+    the kind of semantically false FD a user should refuse to split on.
+    """
+    relation = Relation(
+        "people", ("First", "Last", "Postcode", "City", "Mayor", "Nickname")
+    )
+    rows = [
+        ("Thomas", "Miller", "14482", "Potsdam", "Jakobs", None),
+        ("Sarah", "Miller", "14482", "Potsdam", "Jakobs", "Sa"),
+        ("Peter", "Smith", "60329", "Frankfurt", "Feldmann", None),
+        ("Jasmine", "Cone", "01069", "Dresden", "Orosz", "Jas"),
+        ("Mike", "Cone", "14482", "Potsdam", "Jakobs", None),
+        ("Thomas", "Moore", "60329", "Frankfurt", "Feldmann", None),
+    ]
+    return RelationInstance.from_rows(relation, rows)
+
+
+def scripted_session() -> None:
+    print("=== Scripted session (replayable user decisions) ===")
+    data = tricky_dataset()
+    # The script: accept the top-ranked FD for the first split, then
+    # STOP the follow-up relation (its remaining candidates are the
+    # accidental Nickname FDs).
+    decider = ScriptedDecider(fd_choices=[0, None])
+    result = Normalizer(algorithm="hyfd", decider=decider).run(data)
+    print(result.to_str())
+    if result.stopped_relations:
+        print(
+            f"\nThe user stopped normalizing: {result.stopped_relations} "
+            "(remaining candidates were accidental FDs)"
+        )
+    print()
+
+
+def live_session() -> None:
+    print("=== Live session (type an index, or 's' to stop) ===")
+    data = tricky_dataset()
+
+    def on_violating_fd(instance, ranking):
+        print(f"\nRelation {instance.name!r} is not in BCNF. Candidates:")
+        for index, score in enumerate(ranking[:8]):
+            lhs = ",".join(instance.relation.names_of(score.fd.lhs))
+            rhs = ",".join(instance.relation.names_of(score.fd.rhs))
+            print(f"  [{index}] ({score.total:.3f}) {lhs} -> {rhs}")
+        answer = input("Split on which FD? [0 / s to stop] ").strip()
+        if answer.lower() == "s":
+            return None
+        return int(answer) if answer else 0
+
+    def on_primary_key(instance, ranking):
+        print(f"\nPrimary key for {instance.name!r}:")
+        for index, score in enumerate(ranking[:8]):
+            key = ",".join(instance.relation.names_of(score.key))
+            print(f"  [{index}] ({score.total:.3f}) {{{key}}}")
+        answer = input("Which key? [0] ").strip()
+        return int(answer) if answer else 0
+
+    decider = CallbackDecider(on_violating_fd, on_primary_key)
+    result = Normalizer(algorithm="hyfd", decider=decider).run(data)
+    print()
+    print(result.to_str())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--live", action="store_true", help="prompt on stdin instead of replaying"
+    )
+    args = parser.parse_args()
+    if args.live:
+        live_session()
+    else:
+        scripted_session()
+
+
+if __name__ == "__main__":
+    main()

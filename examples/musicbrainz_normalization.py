@@ -1,0 +1,64 @@
+"""Recover a non-snowflake schema: MusicBrainz (Figure 4).
+
+Unlike TPC-H, the MusicBrainz-like schema contains m:n link tables
+(``artist_credit_name``, ``release_label``), so the denormalized join
+is not snowflake-shaped.  The paper observes three effects, all of
+which this example reproduces:
+
+* almost every original relation is recovered exactly,
+* ``artist_credit_name`` is the one relation that is *not*
+  reconstructed — its attributes are absorbed into semantically
+  related relations,
+* a fact-table-like top-level relation remains, representing the
+  many-to-many relationships between artists, labels, and tracks.
+
+Run with::
+
+    python examples/musicbrainz_normalization.py
+"""
+
+from repro import normalize
+from repro.datagen.musicbrainz import MUSICBRAINZ_GOLD, denormalized_musicbrainz
+from repro.evaluation.metrics import evaluate_schema_recovery
+
+
+def main() -> None:
+    universal = denormalized_musicbrainz()
+    print(
+        f"Universal relation: {universal.arity} attributes x "
+        f"{universal.num_rows} rows (11 MusicBrainz tables joined, sampled)"
+    )
+    print("Normalizing (HyFD discovery + automatic selection) ...")
+    result = normalize(universal)
+
+    print()
+    print("Recovered schema:")
+    print(result.schema.to_str())
+    print()
+
+    report = evaluate_schema_recovery(result.schema, MUSICBRAINZ_GOLD)
+    print("Schema recovery vs. the original MusicBrainz subset:")
+    print(report.to_str())
+    print()
+
+    top = result.instances[universal.name]
+    print(
+        f"Fact-table-like top-level relation: {top.name!r} with "
+        f"{top.arity} attributes and {top.num_rows} rows — it holds the "
+        "m:n relationships the snowflake decomposition cannot dissolve."
+    )
+    acn = report.relation_matches.get("artist_credit_name")
+    if acn and acn[1] < 1.0:
+        print(
+            f"artist_credit_name was not fully reconstructed (best match "
+            f"J={acn[1]:.2f}) — the exact flaw the paper reports for this "
+            "relation."
+        )
+
+    rebuilt = result.reconstruct(universal.name)
+    assert sorted(rebuilt.iter_rows()) == sorted(universal.iter_rows())
+    print("Lossless-join check passed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Recover the TPC-H snowflake from its denormalized join (Figure 3).
+
+This is the paper's headline effectiveness experiment at laptop scale:
+generate the 8-table TPC-H-like dataset, join everything into one
+universal relation, normalize it fully automatically, and compare the
+recovered schema against the original (the gold standard).
+
+Things to look for in the output, mirroring the paper's §8.3:
+
+* every original relation appears in the recovered schema,
+* keys and foreign keys match the original snowflake,
+* the constant ``o_shippriority`` is misplaced (the paper's REGION
+  flaw), and a couple of over-splits occur on the fact-table side.
+
+Run with::
+
+    python examples/tpch_normalization.py [--scale small|default]
+"""
+
+import argparse
+
+from repro import normalize
+from repro.datagen.tpch import TPCH_GOLD, TpchScale, denormalized_tpch
+from repro.evaluation.metrics import evaluate_schema_recovery
+
+SCALES = {
+    "small": TpchScale(
+        regions=3,
+        nations=6,
+        suppliers=10,
+        parts=20,
+        partsupps=40,
+        customers=12,
+        orders=30,
+        lineitems=100,
+    ),
+    "default": TpchScale(),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="default")
+    args = parser.parse_args()
+
+    universal = denormalized_tpch(SCALES[args.scale])
+    print(
+        f"Universal relation: {universal.arity} attributes x "
+        f"{universal.num_rows} rows (all 8 TPC-H tables joined)"
+    )
+    print("Normalizing (HyFD discovery + automatic selection) ...")
+    result = normalize(universal)
+
+    print()
+    print("Recovered schema:")
+    print(result.schema.to_str())
+    print()
+    print("Decomposition log:")
+    for step in result.steps:
+        print(f"  {step.to_str()}")
+    print()
+
+    report = evaluate_schema_recovery(result.schema, TPCH_GOLD)
+    print("Schema recovery vs. the original TPC-H (gold standard):")
+    print(report.to_str())
+    print()
+
+    timings = ", ".join(
+        f"{component}={seconds:.2f}s"
+        for component, seconds in result.timings.items()
+        if seconds >= 0.01
+    )
+    print(f"Component timings: {timings}")
+    print(f"Stored values: {result.original_values} -> {result.total_values}")
+
+    shippriority_home = next(
+        instance.name
+        for instance in result.instances.values()
+        if "o_shippriority" in instance.columns
+    )
+    print(
+        f"\nThe constant o_shippriority landed in {shippriority_home!r} — "
+        "the same class of flaw the paper reports (it ends up in REGION)."
+    )
+
+
+if __name__ == "__main__":
+    main()

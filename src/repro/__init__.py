@@ -1,0 +1,99 @@
+"""repro — data-driven schema normalization.
+
+A from-scratch Python reproduction of
+
+    Thorsten Papenbrock, Felix Naumann:
+    "Data-driven Schema Normalization", EDBT 2017.
+
+The package implements the complete Normalize system: FD discovery
+(HyFD, TANE, DFD, and a brute-force oracle), the three closure
+algorithms, key derivation, BCNF/3NF violation detection, constraint
+scoring and (semi-)automatic selection, schema decomposition, and
+DUCC-based primary-key discovery — plus the synthetic workloads and the
+benchmark harness that regenerate the paper's evaluation.
+
+Quickstart::
+
+    from repro import normalize, address_example
+
+    result = normalize(address_example())
+    print(result.to_str())
+"""
+
+from repro.core.closure import (
+    calculate_closure,
+    improved_closure,
+    naive_closure,
+    optimized_closure,
+)
+from repro.core.nf_check import check_normal_form
+from repro.core.normalize import Normalizer, normalize
+from repro.core.result import NormalizationResult
+from repro.core.scoring import rank_keys, rank_violating_fds
+from repro.core.selection import (
+    AutoDecider,
+    CallbackDecider,
+    Decider,
+    ScriptedDecider,
+)
+from repro.discovery import (
+    DFD,
+    BruteForceFD,
+    DuccUCC,
+    HyFD,
+    NaiveUCC,
+    Tane,
+    discover_fds,
+    discover_uccs,
+)
+from repro.io.csv_io import read_csv, write_csv
+from repro.io.datasets import address_example, planets_example
+from repro.io.ddl import schema_to_ddl
+from repro.io.graphviz import schema_to_dot
+from repro.io.serialization import load_fdset, result_to_json, save_fdset
+from repro.model import FD, FDSet, ForeignKey, Relation, RelationInstance, Schema
+from repro.profiling import profile, profile_many
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DFD",
+    "FD",
+    "AutoDecider",
+    "BruteForceFD",
+    "CallbackDecider",
+    "Decider",
+    "DuccUCC",
+    "FDSet",
+    "ForeignKey",
+    "HyFD",
+    "NaiveUCC",
+    "NormalizationResult",
+    "Normalizer",
+    "Relation",
+    "RelationInstance",
+    "Schema",
+    "ScriptedDecider",
+    "Tane",
+    "address_example",
+    "calculate_closure",
+    "check_normal_form",
+    "discover_fds",
+    "discover_uccs",
+    "improved_closure",
+    "naive_closure",
+    "normalize",
+    "optimized_closure",
+    "load_fdset",
+    "planets_example",
+    "profile",
+    "profile_many",
+    "rank_keys",
+    "rank_violating_fds",
+    "read_csv",
+    "result_to_json",
+    "save_fdset",
+    "schema_to_ddl",
+    "schema_to_dot",
+    "write_csv",
+]

@@ -1,0 +1,288 @@
+"""Console front-end for Normalize.
+
+The paper's implementation "is currently console-based, offering only
+basic user interaction" (§9); this module is that surface.  Batch mode
+normalizes fully automatically; ``--interactive`` puts the human in the
+loop at each decomposition and primary-key decision, exactly the
+(semi-)automatic mode of the paper.
+
+Examples::
+
+    repro-normalize data.csv
+    repro-normalize data.csv --algorithm tane --target 3nf
+    repro-normalize data.csv --interactive --ddl schema.sql --out-dir normalized/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.normalize import Normalizer
+from repro.core.scoring import KeyScore, ViolatingFDScore
+from repro.core.selection import AutoDecider, CallbackDecider
+from repro.io.csv_io import read_csv, write_csv
+from repro.io.ddl import schema_to_ddl
+from repro.model.instance import RelationInstance
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-normalize",
+        description="Data-driven BCNF/3NF/4NF normalization of CSV datasets "
+        "(reproduction of Papenbrock & Naumann, EDBT 2017).",
+    )
+    parser.add_argument(
+        "files", nargs="+", help="input CSV files (one relation each)"
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="hyfd",
+        choices=("hyfd", "tane", "dfd", "bruteforce"),
+        help="FD discovery algorithm (default: hyfd)",
+    )
+    parser.add_argument(
+        "--target",
+        default="bcnf",
+        choices=("bcnf", "3nf", "4nf"),
+        help="normal form to establish (default: bcnf); 4nf adds the "
+        "MVD-driven extension phase",
+    )
+    parser.add_argument(
+        "--closure",
+        default="optimized",
+        choices=("naive", "improved", "optimized"),
+        help="closure algorithm (default: optimized)",
+    )
+    parser.add_argument(
+        "--max-lhs-size",
+        type=int,
+        default=None,
+        help="prune FDs with a wider LHS during discovery (paper §4.3)",
+    )
+    parser.add_argument(
+        "--delimiter", default=",", help="CSV field delimiter (default: ,)"
+    )
+    parser.add_argument(
+        "--no-header",
+        action="store_true",
+        help="input files have no header row",
+    )
+    parser.add_argument(
+        "--interactive",
+        action="store_true",
+        help="ask at every decomposition / primary-key decision",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="candidates shown per interactive decision (default: 10)",
+    )
+    parser.add_argument(
+        "--ddl", metavar="FILE", help="write CREATE TABLE statements here"
+    )
+    parser.add_argument(
+        "--dot",
+        metavar="FILE",
+        help="write a Graphviz DOT preview of the normalized schema",
+    )
+    parser.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        help="write one CSV per normalized relation into this directory",
+    )
+    parser.add_argument(
+        "--tree",
+        action="store_true",
+        help="print the Figure-3-style foreign-key tree of the result",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a data profile (column stats, FDs, keys) and exit",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="only check conformance with --target and report violations; "
+        "do not normalize",
+    )
+    parser.add_argument(
+        "--save-fds",
+        metavar="FILE",
+        help="save the discovered FD set as JSON (reusable via --load-fds)",
+    )
+    parser.add_argument(
+        "--load-fds",
+        metavar="FILE",
+        help="skip discovery: load a previously saved FD set "
+        "(single input file only)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="export the full normalization result (schema, log, stats) as JSON",
+    )
+    return parser
+
+
+def _interactive_decider(top: int) -> CallbackDecider:
+    def on_violating_fd(
+        instance: RelationInstance, ranking: list[ViolatingFDScore]
+    ) -> int | None:
+        print(f"\nRelation {instance.name!r} violates the normal form.")
+        print("Ranked decomposition candidates (LHS -> RHS):")
+        for index, score in enumerate(ranking[:top]):
+            lhs = ",".join(instance.relation.names_of(score.fd.lhs))
+            rhs = ",".join(instance.relation.names_of(score.fd.rhs))
+            print(f"  [{index}] ({score.total:.3f}) {lhs} -> {rhs}")
+        if len(ranking) > top:
+            print(f"  ... and {len(ranking) - top} more")
+        answer = input("Pick index, or 's' to stop this relation [0]: ").strip()
+        if answer.lower() == "s":
+            return None
+        return int(answer) if answer else 0
+
+    def on_primary_key(
+        instance: RelationInstance, ranking: list[KeyScore]
+    ) -> int | None:
+        print(f"\nPick a primary key for relation {instance.name!r}:")
+        for index, score in enumerate(ranking[:top]):
+            key = ",".join(instance.relation.names_of(score.key))
+            print(f"  [{index}] ({score.total:.3f}) {{{key}}}")
+        answer = input("Pick index, or 'n' for no key [0]: ").strip()
+        if answer.lower() == "n":
+            return None
+        return int(answer) if answer else 0
+
+    return CallbackDecider(
+        on_violating_fd=on_violating_fd, on_primary_key=on_primary_key
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    instances = [
+        read_csv(path, delimiter=args.delimiter, has_header=not args.no_header)
+        for path in args.files
+    ]
+
+    if args.profile:
+        from repro.profiling import profile
+
+        for instance in instances:
+            print(profile(instance, fd_algorithm=args.algorithm).to_str())
+            print()
+        return 0
+
+    if args.check:
+        from repro.core.nf_check import check_normal_form
+
+        all_conform = True
+        for instance in instances:
+            report = check_normal_form(
+                instance, target=args.target, algorithm=args.algorithm
+            )
+            print(report.to_str(instance.columns))
+            all_conform = all_conform and report.conforms
+        return 0 if all_conform else 1
+
+    algorithm: object = args.algorithm
+    if args.load_fds:
+        from repro.discovery.precomputed import PrecomputedFDs
+        from repro.io.serialization import load_fdset
+
+        if len(instances) != 1:
+            raise SystemExit("--load-fds supports exactly one input file")
+        fds, columns = load_fdset(args.load_fds)
+        if columns != instances[0].columns:
+            raise SystemExit(
+                "--load-fds: saved FD set was profiled on different columns"
+            )
+        algorithm = PrecomputedFDs({instances[0].name: fds})
+
+    decider = _interactive_decider(args.top) if args.interactive else AutoDecider()
+    if args.target == "4nf":
+        from repro.extensions.fournf import FourNFNormalizer
+
+        if len(instances) != 1:
+            raise SystemExit("--target 4nf supports exactly one input file")
+        four = FourNFNormalizer(
+            algorithm=algorithm,
+            decider=decider,
+            closure_algorithm=args.closure,
+            max_lhs_size=args.max_lhs_size,
+        ).run(instances[0])
+        print(four.to_str())
+        return 0
+
+    normalizer = Normalizer(
+        algorithm=algorithm,
+        decider=decider,
+        target=args.target,
+        closure_algorithm=args.closure,
+        max_lhs_size=args.max_lhs_size,
+    )
+    result = normalizer.run(instances)
+
+    if args.save_fds:
+        from repro.io.serialization import save_fdset
+
+        if len(instances) != 1:
+            raise SystemExit("--save-fds supports exactly one input file")
+        fds = result.discovered_fds[instances[0].name]
+        save_fdset(fds, instances[0].columns, args.save_fds)
+        print(f"FD set written to {args.save_fds}")
+
+    print(result.to_str())
+    if args.tree:
+        from repro.evaluation.snowflake import schema_tree
+
+        print()
+        print("Foreign-key tree:")
+        print(schema_tree(result.schema))
+    print()
+    for stat in result.stats:
+        print(
+            f"[{stat.relation}] {stat.num_fds} minimal FDs, "
+            f"{stat.num_fd_keys} FD-derived keys | "
+            f"discovery {stat.fd_discovery_seconds:.2f}s, "
+            f"closure {stat.closure_seconds:.2f}s"
+        )
+
+    if args.ddl:
+        Path(args.ddl).write_text(
+            schema_to_ddl(result.schema, result.instances), encoding="utf-8"
+        )
+        print(f"DDL written to {args.ddl}")
+    if args.dot:
+        from repro.io.graphviz import schema_to_dot
+
+        Path(args.dot).write_text(
+            schema_to_dot(result.schema), encoding="utf-8"
+        )
+        print(f"DOT graph written to {args.dot}")
+    if args.json:
+        import json as _json
+
+        from repro.io.serialization import result_to_json
+
+        Path(args.json).write_text(
+            _json.dumps(result_to_json(result), indent=2), encoding="utf-8"
+        )
+        print(f"Result JSON written to {args.json}")
+    if args.out_dir:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, instance in result.instances.items():
+            write_csv(instance, out_dir / f"{name}.csv")
+        print(f"{len(result.instances)} relations written to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

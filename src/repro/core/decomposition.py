@@ -1,0 +1,128 @@
+"""Schema decomposition (paper §3 step 6, justified by Lemma 3).
+
+Splitting relation ``R`` on a violating FD ``X → Y`` yields
+
+* ``R1 = R \\ Y`` — the original rows minus the redundant attributes;
+  it keeps ``R``'s name, primary key, and every foreign key disjoint
+  from ``Y``, plus a new foreign key on ``X`` referencing ``R2``,
+* ``R2 = X ∪ Y`` — the *distinct* ``X ∪ Y`` rows; ``X`` becomes its
+  primary key, and foreign keys fully inside ``X ∪ Y`` move here.
+
+Lemma 3 guarantees the FDs of the parts are exactly the parent's FDs
+projected onto their attributes, so the extended FD sets are projected
+rather than re-discovered — this is what makes repeated decompositions
+cheap.  Projection preserves minimality and completeness within each
+part, keeping the optimized-closure invariants intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.attributes import bits_of, iter_bits
+from repro.model.fd import FD, FDSet
+from repro.model.instance import RelationInstance
+from repro.model.schema import ForeignKey
+
+__all__ = ["DecompositionOutcome", "decompose", "project_fds"]
+
+
+@dataclass(slots=True)
+class DecompositionOutcome:
+    """The two halves of a decomposition plus their projected FD sets."""
+
+    r1: RelationInstance
+    r2: RelationInstance
+    r1_fds: FDSet
+    r2_fds: FDSet
+
+
+def decompose(
+    instance: RelationInstance,
+    extended_fds: FDSet,
+    violating: FD,
+    r2_name: str,
+) -> DecompositionOutcome:
+    """Split ``instance`` on the violating FD ``lhs → rhs``.
+
+    ``extended_fds`` must be the relation's closed FD set; ``r2_name``
+    names the split-off relation (callers use
+    :meth:`~repro.model.schema.Schema.unique_name`).
+    """
+    relation = instance.relation
+    full = instance.full_mask()
+    rhs = violating.rhs & ~violating.lhs
+    if not rhs:
+        raise ValueError("violating FD has an empty effective RHS")
+    if violating.lhs == 0:
+        # An empty LHS (constant columns) cannot become a key/foreign
+        # key; the violation detector never emits such FDs.
+        raise ValueError("cannot decompose on an FD with an empty LHS")
+    if (violating.lhs | rhs) & ~full:
+        raise ValueError("violating FD mentions attributes outside the relation")
+
+    r1_mask = full & ~rhs
+    r2_mask = violating.lhs | rhs
+
+    r1_instance = instance.project(r1_mask, name=relation.name)
+    r2_instance = instance.project(r2_mask, name=r2_name, dedup=True)
+
+    lhs_names = relation.names_of(violating.lhs)
+
+    # --- Constraint wiring -------------------------------------------
+    # R2: the violating LHS becomes the primary key.
+    r2_relation = r2_instance.relation
+    r2_relation.primary_key = lhs_names
+
+    # R1: keep the parent's primary key (Algorithm 4 removed its
+    # attributes from every violating RHS, so it survives intact) and
+    # reference R2 via the LHS.
+    r1_relation = r1_instance.relation
+    r1_relation.primary_key = relation.primary_key
+    r1_relation.foreign_keys.append(
+        ForeignKey(lhs_names, r2_name, lhs_names)
+    )
+
+    # Distribute the parent's foreign keys: disjoint from the RHS they
+    # stay in R1; otherwise Algorithm 4 guaranteed they fit inside R2.
+    for fk in relation.foreign_keys:
+        fk_mask = relation.mask_of(fk.columns)
+        if fk_mask & rhs:
+            r2_relation.foreign_keys.append(fk)
+        else:
+            r1_relation.foreign_keys.append(fk)
+
+    # --- FD projection (Lemma 3) -------------------------------------
+    r1_fds = project_fds(extended_fds, r1_mask, instance.arity)
+    r2_fds = project_fds(extended_fds, r2_mask, instance.arity)
+    return DecompositionOutcome(r1_instance, r2_instance, r1_fds, r2_fds)
+
+
+def project_fds(extended_fds: FDSet, part_mask: int, parent_arity: int) -> FDSet:
+    """Project a closed FD set onto the attributes of ``part_mask``.
+
+    Keeps every FD whose LHS lies inside the part, restricted to the
+    part's attributes, and renumbers attribute indices to the part's
+    column positions.  By Lemma 3 the result is the part's complete
+    extended FD set.
+    """
+    positions = bits_of(part_mask)
+    renumber = {parent_index: child_index for child_index, parent_index in enumerate(positions)}
+    projected = FDSet(len(positions))
+    for lhs, rhs in extended_fds.items():
+        if lhs & ~part_mask:
+            continue
+        kept_rhs = rhs & part_mask
+        if not kept_rhs:
+            continue
+        projected.add_masks(
+            _remap(lhs, renumber), _remap(kept_rhs, renumber)
+        )
+    return projected
+
+
+def _remap(mask: int, renumber: dict[int, int]) -> int:
+    out = 0
+    for index in iter_bits(mask):
+        out |= 1 << renumber[index]
+    return out

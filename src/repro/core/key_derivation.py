@@ -1,0 +1,38 @@
+"""Key derivation from extended FDs (paper §5).
+
+A key of relation ``R`` is an attribute set that functionally
+determines all other attributes.  Given the *extended* FDs (RHSs
+maximized by the closure), the keys among the FD LHSs are exactly those
+with ``lhs ∪ rhs = R``.
+
+This does **not** reveal every minimal key of the relation — the
+paper's professor/teaches/class example shows a key that is no minimal
+FD LHS — but Lemma 2 proves the derived keys are the only ones the
+BCNF-violation check ever consults: any key contained in some FD's LHS
+is itself a (fully extended) FD LHS.  The primary-key selection
+component later runs full UCC discovery (DUCC) for relations that still
+lack a key.
+"""
+
+from __future__ import annotations
+
+from repro.model.fd import FDSet
+
+__all__ = ["derive_keys"]
+
+
+def derive_keys(extended_fds: FDSet, relation_mask: int) -> list[int]:
+    """Return the FD-derivable keys of the relation as bitmasks.
+
+    ``extended_fds`` must already be closed (each FD's ``lhs | rhs``
+    equals the LHS's attribute closure); ``relation_mask`` is the full
+    attribute mask of the relation.  The result is sorted for
+    determinism.
+    """
+    keys = [
+        lhs
+        for lhs, rhs in extended_fds.items()
+        if lhs | rhs == relation_mask
+    ]
+    keys.sort()
+    return keys

@@ -1,0 +1,334 @@
+"""Normalize — the data-driven (semi-)automatic normalization driver.
+
+This is the paper's Figure 1 wired together:
+
+1. FD discovery (any :class:`~repro.discovery.base.FDAlgorithm`,
+   HyFD by default),
+2. closure calculation (optimized by default — the discoverers
+   guarantee complete minimal input),
+3. key derivation,
+4. violating-FD identification (BCNF by default, 3NF optional),
+5. violating-FD selection (scored, ranked, decided),
+6. schema decomposition — back to 3 for both halves,
+7. primary-key selection (DUCC key discovery + scoring for relations
+   that did not inherit a key).
+
+Steps 3–6 loop per relation until it is conform or the decider stops;
+steps 1–2 run once per input relation up front.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.closure import calculate_closure
+from repro.core.decomposition import decompose
+from repro.core.key_derivation import derive_keys
+from repro.core.result import DecompositionStep, NormalizationResult, PipelineStats
+from repro.core.scoring import (
+    DistinctEstimator,
+    rank_keys,
+    rank_violating_fds,
+    shared_rhs_attributes,
+)
+from repro.core.selection import AutoDecider, Decider
+from repro.core.violations import find_violating_fds
+from repro.discovery.base import FDAlgorithm
+from repro.discovery.ucc import DuccUCC
+from repro.model.fd import FD, FDSet
+from repro.model.instance import RelationInstance
+
+__all__ = ["Normalizer", "normalize"]
+
+
+@dataclass(slots=True)
+class _WorkItem:
+    instance: RelationInstance
+    fds: FDSet  # extended (closed) FDs of this relation
+
+
+class Normalizer:
+    """Configurable Normalize pipeline.
+
+    Parameters mirror the paper's degrees of freedom: the discovery
+    algorithm, the closure algorithm, the normal form target, the
+    decision maker, and the scoring mode (Bloom-estimated vs. exact
+    distinct counts).
+    """
+
+    def __init__(
+        self,
+        algorithm: FDAlgorithm | str = "hyfd",
+        decider: Decider | None = None,
+        target: str = "bcnf",
+        closure_algorithm: str = "optimized",
+        null_equals_null: bool = True,
+        max_lhs_size: int | None = None,
+        exact_distinct: bool = False,
+        score_features: tuple[str, ...] = (
+            "length",
+            "value",
+            "position",
+            "duplication",
+        ),
+        ucc_seed: int = 42,
+    ) -> None:
+        if isinstance(algorithm, str):
+            from repro.discovery.bruteforce import BruteForceFD
+            from repro.discovery.dfd import DFD
+            from repro.discovery.hyfd import HyFD
+            from repro.discovery.tane import Tane
+
+            registry = {
+                "hyfd": HyFD,
+                "tane": Tane,
+                "dfd": DFD,
+                "bruteforce": BruteForceFD,
+            }
+            if algorithm.lower() not in registry:
+                raise ValueError(
+                    f"unknown FD algorithm {algorithm!r}; "
+                    f"choose from {sorted(registry)}"
+                )
+            algorithm = registry[algorithm.lower()](
+                null_equals_null=null_equals_null, max_lhs_size=max_lhs_size
+            )
+        self.algorithm = algorithm
+        self.decider = decider if decider is not None else AutoDecider()
+        self.target = target
+        self.closure_algorithm = closure_algorithm
+        self.null_equals_null = null_equals_null
+        self.exact_distinct = exact_distinct
+        self.score_features = score_features
+        self.ucc_seed = ucc_seed
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+    def run(
+        self, data: RelationInstance | Iterable[RelationInstance]
+    ) -> NormalizationResult:
+        """Normalize one or more relation instances into BCNF (or 3NF)."""
+        inputs = [data] if isinstance(data, RelationInstance) else list(data)
+        if not inputs:
+            raise ValueError("no input relations given")
+        used_names = {instance.name for instance in inputs}
+        if len(used_names) != len(inputs):
+            raise ValueError("input relation names must be unique")
+
+        timings: dict[str, float] = {
+            "fd_discovery": 0.0,
+            "closure": 0.0,
+            "key_derivation": 0.0,
+            "violation_detection": 0.0,
+            "selection": 0.0,
+            "decomposition": 0.0,
+            "primary_key_selection": 0.0,
+        }
+        stats: list[PipelineStats] = []
+        steps: list[DecompositionStep] = []
+        stopped: list[str] = []
+
+        # Steps 1 + 2 per input relation, with Table 3 bookkeeping.
+        queue: list[_WorkItem] = []
+        discovered: dict[str, FDSet] = {}
+        for instance in inputs:
+            # Work on a fresh Relation object so callers' schemas are
+            # never mutated.
+            instance = instance.rename(instance.name)
+            started = time.perf_counter()
+            fds = self.algorithm.discover(instance)
+            discovery_seconds = time.perf_counter() - started
+            discovered[instance.name] = fds.copy()
+            avg_before = fds.average_rhs_size()
+
+            started = time.perf_counter()
+            extended = calculate_closure(fds, self.closure_algorithm)
+            closure_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            keys = derive_keys(extended, instance.full_mask())
+            key_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            find_violating_fds(
+                extended,
+                keys,
+                null_mask=self._null_mask(instance),
+                primary_key=instance.relation.primary_key_mask,
+                foreign_keys=instance.relation.foreign_key_masks(),
+                target=self.target,
+            )
+            violation_seconds = time.perf_counter() - started
+
+            stats.append(
+                PipelineStats(
+                    relation=instance.name,
+                    num_attributes=instance.arity,
+                    num_records=instance.num_rows,
+                    num_fds=fds.count_single_rhs(),
+                    num_fd_keys=len(keys),
+                    avg_rhs_before_closure=avg_before,
+                    avg_rhs_after_closure=extended.average_rhs_size(),
+                    fd_discovery_seconds=discovery_seconds,
+                    closure_seconds=closure_seconds,
+                    key_derivation_seconds=key_seconds,
+                    violation_detection_seconds=violation_seconds,
+                )
+            )
+            timings["fd_discovery"] += discovery_seconds
+            timings["closure"] += closure_seconds
+            timings["key_derivation"] += key_seconds
+            timings["violation_detection"] += violation_seconds
+            queue.append(_WorkItem(instance, extended))
+
+        # Steps 3–6: the decomposition loop.
+        final: list[_WorkItem] = []
+        while queue:
+            item = queue.pop()
+            outcome = self._normalize_one(item, used_names, steps, timings, stopped)
+            if outcome is None:
+                final.append(item)
+            else:
+                queue.extend(outcome)
+
+        # Step 7: primary keys for relations that did not inherit one.
+        started = time.perf_counter()
+        for item in final:
+            self._select_primary_key(item)
+        timings["primary_key_selection"] += time.perf_counter() - started
+
+        return NormalizationResult(
+            instances={item.instance.name: item.instance for item in final},
+            steps=steps,
+            stats=stats,
+            timings=timings,
+            originals={instance.name: instance for instance in inputs},
+            stopped_relations=stopped,
+            discovered_fds=discovered,
+        )
+
+    # ------------------------------------------------------------------
+    # One iteration of steps 3–6 for a single relation
+    # ------------------------------------------------------------------
+    def _normalize_one(
+        self,
+        item: _WorkItem,
+        used_names: set[str],
+        steps: list[DecompositionStep],
+        timings: dict[str, float],
+        stopped: list[str],
+    ) -> list[_WorkItem] | None:
+        instance = item.instance
+        relation = instance.relation
+
+        started = time.perf_counter()
+        keys = derive_keys(item.fds, instance.full_mask())
+        timings["key_derivation"] += time.perf_counter() - started
+
+        started = time.perf_counter()
+        violating = find_violating_fds(
+            item.fds,
+            keys,
+            null_mask=self._null_mask(instance),
+            primary_key=relation.primary_key_mask,
+            foreign_keys=relation.foreign_key_masks(),
+            target=self.target,
+        )
+        timings["violation_detection"] += time.perf_counter() - started
+        if not violating:
+            return None
+
+        started = time.perf_counter()
+        estimator = DistinctEstimator(instance, exact=self.exact_distinct)
+        ranking = rank_violating_fds(
+            instance, violating, estimator, self.score_features
+        )
+        choice = self.decider.choose_violating_fd(instance, ranking)
+        if choice is None:
+            stopped.append(instance.name)
+            timings["selection"] += time.perf_counter() - started
+            return None
+        chosen = ranking[choice]
+        shared = shared_rhs_attributes(chosen.fd, [score.fd for score in ranking])
+        rhs = self.decider.edit_rhs(instance, chosen, shared)
+        timings["selection"] += time.perf_counter() - started
+
+        started = time.perf_counter()
+        lhs_names = relation.names_of(chosen.fd.lhs)
+        r2_name = _fresh_name(f"{relation.name}_{lhs_names[0]}", used_names)
+        outcome = decompose(instance, item.fds, FD(chosen.fd.lhs, rhs), r2_name)
+        timings["decomposition"] += time.perf_counter() - started
+
+        steps.append(
+            DecompositionStep(
+                parent=relation.name,
+                parent_columns=relation.columns,
+                r1=outcome.r1.name,
+                r2=outcome.r2.name,
+                lhs=lhs_names,
+                rhs=relation.names_of(rhs & ~chosen.fd.lhs),
+                chosen_rank=choice,
+                num_candidates=len(ranking),
+                score=chosen.total,
+            )
+        )
+        return [
+            _WorkItem(outcome.r1, outcome.r1_fds),
+            _WorkItem(outcome.r2, outcome.r2_fds),
+        ]
+
+    # ------------------------------------------------------------------
+    # Step 7: primary-key selection
+    # ------------------------------------------------------------------
+    def _select_primary_key(self, item: _WorkItem) -> None:
+        relation = item.instance.relation
+        if relation.primary_key is not None:
+            return
+        # The paper uses DUCC here: decompositions never assigned this
+        # relation a key, and derived FD keys may miss minimal keys.
+        uccs = DuccUCC(
+            null_equals_null=self.null_equals_null, seed=self.ucc_seed
+        ).discover(item.instance)
+        null_mask = self._null_mask(item.instance)
+        candidates = [key for key in uccs if key and not key & null_mask]
+        if not candidates:
+            return  # no SQL-legal key exists; leave the relation as-is
+        ranking = rank_keys(item.instance, candidates)
+        choice = self.decider.choose_primary_key(item.instance, ranking)
+        if choice is None:
+            return
+        relation.primary_key = relation.names_of(ranking[choice].key)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _null_mask(instance: RelationInstance) -> int:
+        mask = 0
+        for index in range(instance.arity):
+            if any(value is None for value in instance.columns_data[index]):
+                mask |= 1 << index
+        return mask
+
+
+def _fresh_name(base: str, used_names: set[str]) -> str:
+    name = base
+    suffix = 2
+    while name in used_names:
+        name = f"{base}_{suffix}"
+        suffix += 1
+    used_names.add(name)
+    return name
+
+
+def normalize(
+    data: RelationInstance | Iterable[RelationInstance], **kwargs
+) -> NormalizationResult:
+    """One-call front door: ``normalize(instance)`` → BCNF schema.
+
+    Keyword arguments are forwarded to :class:`Normalizer`.
+    """
+    return Normalizer(**kwargs).run(data)

@@ -1,0 +1,174 @@
+"""The decision layer: automatic, scripted, and interactive selection.
+
+Normalize is "(semi-)automatic": at every decomposition the ranked
+violating FDs are offered to a decision maker, who picks one, edits its
+RHS, or stops normalizing the relation; the same happens for primary
+keys at the end.  Three implementations cover the paper's usage modes:
+
+* :class:`AutoDecider` — no user present: always take the top-ranked
+  candidate (the paper's default behaviour and what §8.3 evaluates),
+* :class:`ScriptedDecider` — a replayable sequence of answers; this is
+  how "user sessions" are tested and how the CLI's batch mode works,
+* :class:`CallbackDecider` — arbitrary callables, used by the
+  interactive console front-end.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Iterable
+
+from repro.core.scoring import KeyScore, ViolatingFDScore
+from repro.model.instance import RelationInstance
+
+__all__ = ["AutoDecider", "CallbackDecider", "Decider", "ScriptedDecider"]
+
+
+class Decider(abc.ABC):
+    """Interface for the two §7 selection points (violating FD, key)."""
+
+    @abc.abstractmethod
+    def choose_violating_fd(
+        self, instance: RelationInstance, ranking: list[ViolatingFDScore]
+    ) -> int | None:
+        """Pick an index into ``ranking``; ``None`` stops normalizing
+        this relation (the user deems all candidates accidental)."""
+
+    @abc.abstractmethod
+    def choose_primary_key(
+        self, instance: RelationInstance, ranking: list[KeyScore]
+    ) -> int | None:
+        """Pick an index into ``ranking``; ``None`` leaves the relation
+        without a primary key."""
+
+    def edit_rhs(
+        self, instance: RelationInstance, chosen: ViolatingFDScore, shared_rhs: int
+    ) -> int:
+        """Optionally remove attributes from the chosen FD's RHS.
+
+        ``shared_rhs`` flags RHS attributes that other violating FDs
+        also determine (the paper shows these to the user).  Returns
+        the RHS mask to decompose with; the default keeps everything —
+        "If no user is present, nothing is removed" (§7.2).
+        """
+        return chosen.fd.rhs
+
+
+class AutoDecider(Decider):
+    """Fully automatic: always the top-ranked candidate, full RHS."""
+
+    def choose_violating_fd(
+        self, instance: RelationInstance, ranking: list[ViolatingFDScore]
+    ) -> int | None:
+        return 0 if ranking else None
+
+    def choose_primary_key(
+        self, instance: RelationInstance, ranking: list[KeyScore]
+    ) -> int | None:
+        return 0 if ranking else None
+
+
+class ScriptedDecider(Decider):
+    """Replays a fixed sequence of answers (a recorded user session).
+
+    ``fd_choices`` and ``key_choices`` are consumed in call order; each
+    entry is an index or ``None``.  When a sequence runs out the
+    decider behaves like :class:`AutoDecider`.  ``rhs_edits`` maps the
+    call ordinal to a set of attribute *names* to strip from the RHS.
+    """
+
+    def __init__(
+        self,
+        fd_choices: Iterable[int | None] = (),
+        key_choices: Iterable[int | None] = (),
+        rhs_edits: dict[int, frozenset[str]] | None = None,
+    ) -> None:
+        self._fd_choices = list(fd_choices)
+        self._key_choices = list(key_choices)
+        self._rhs_edits = dict(rhs_edits or {})
+        self._fd_calls = 0
+        self._key_calls = 0
+
+    def choose_violating_fd(
+        self, instance: RelationInstance, ranking: list[ViolatingFDScore]
+    ) -> int | None:
+        index = self._fd_calls
+        self._fd_calls += 1
+        if index < len(self._fd_choices):
+            choice = self._fd_choices[index]
+            if choice is not None and not 0 <= choice < len(ranking):
+                raise IndexError(
+                    f"scripted FD choice {choice} out of range "
+                    f"(ranking has {len(ranking)} entries)"
+                )
+            return choice
+        return 0 if ranking else None
+
+    def choose_primary_key(
+        self, instance: RelationInstance, ranking: list[KeyScore]
+    ) -> int | None:
+        index = self._key_calls
+        self._key_calls += 1
+        if index < len(self._key_choices):
+            choice = self._key_choices[index]
+            if choice is not None and not 0 <= choice < len(ranking):
+                raise IndexError(
+                    f"scripted key choice {choice} out of range "
+                    f"(ranking has {len(ranking)} entries)"
+                )
+            return choice
+        return 0 if ranking else None
+
+    def edit_rhs(
+        self, instance: RelationInstance, chosen: ViolatingFDScore, shared_rhs: int
+    ) -> int:
+        edit = self._rhs_edits.get(self._fd_calls - 1)
+        if not edit:
+            return chosen.fd.rhs
+        strip = instance.relation.mask_of(edit)
+        remaining = chosen.fd.rhs & ~strip
+        if not remaining:
+            raise ValueError("RHS edit would remove every RHS attribute")
+        return remaining
+
+
+class CallbackDecider(Decider):
+    """Delegates every decision to user-supplied callables.
+
+    Missing callbacks fall back to the automatic behaviour, so an
+    interactive front-end can override only what it cares about.
+    """
+
+    def __init__(
+        self,
+        on_violating_fd: Callable[[RelationInstance, list[ViolatingFDScore]], int | None]
+        | None = None,
+        on_primary_key: Callable[[RelationInstance, list[KeyScore]], int | None]
+        | None = None,
+        on_edit_rhs: Callable[[RelationInstance, ViolatingFDScore, int], int]
+        | None = None,
+    ) -> None:
+        self._on_violating_fd = on_violating_fd
+        self._on_primary_key = on_primary_key
+        self._on_edit_rhs = on_edit_rhs
+
+    def choose_violating_fd(
+        self, instance: RelationInstance, ranking: list[ViolatingFDScore]
+    ) -> int | None:
+        if self._on_violating_fd is None:
+            return 0 if ranking else None
+        return self._on_violating_fd(instance, ranking)
+
+    def choose_primary_key(
+        self, instance: RelationInstance, ranking: list[KeyScore]
+    ) -> int | None:
+        if self._on_primary_key is None:
+            return 0 if ranking else None
+        return self._on_primary_key(instance, ranking)
+
+    def edit_rhs(
+        self, instance: RelationInstance, chosen: ViolatingFDScore, shared_rhs: int
+    ) -> int:
+        if self._on_edit_rhs is None:
+            return chosen.fd.rhs
+        return self._on_edit_rhs(instance, chosen, shared_rhs)

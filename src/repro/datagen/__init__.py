@@ -1,0 +1,44 @@
+"""Synthetic dataset generators for the paper's evaluation workloads.
+
+The paper evaluates on TPC-H (scale factor 1), a MusicBrainz subset,
+and four real profiling datasets (Horse, Plista, Amalgam1, Flight).
+None of those are shippable here (size / availability), so this package
+generates deterministic stand-ins that preserve what the experiments
+actually measure — the FD structure of the denormalized joins and the
+character of the single-table FD sets (see DESIGN.md §3):
+
+* :mod:`repro.datagen.tpch` — the 8-table TPC-H snowflake,
+* :mod:`repro.datagen.musicbrainz` — an 11-table, non-snowflake music
+  encyclopedia with m:n link tables,
+* :mod:`repro.datagen.profiles` — Horse/Plista/Amalgam1/Flight-shaped
+  single tables,
+* :mod:`repro.datagen.denormalize` — join machinery that produces the
+  universal relations Normalize is run on,
+* :mod:`repro.datagen.random_tables` — small random instances for
+  property-based tests.
+"""
+
+from repro.datagen.denormalize import denormalize, equi_join
+from repro.datagen.musicbrainz import MUSICBRAINZ_GOLD, generate_musicbrainz
+from repro.datagen.profiles import (
+    amalgam_like,
+    flight_like,
+    horse_like,
+    plista_like,
+)
+from repro.datagen.random_tables import random_instance
+from repro.datagen.tpch import TPCH_GOLD, generate_tpch
+
+__all__ = [
+    "MUSICBRAINZ_GOLD",
+    "TPCH_GOLD",
+    "amalgam_like",
+    "denormalize",
+    "equi_join",
+    "flight_like",
+    "generate_musicbrainz",
+    "generate_tpch",
+    "horse_like",
+    "plista_like",
+    "random_instance",
+]

@@ -1,0 +1,395 @@
+"""A deterministic MusicBrainz-like generator (paper §8.1/§8.3, Figure 4).
+
+The paper joins eleven selected core tables of the MusicBrainz music
+encyclopedia into one universal relation and limits the row count,
+"because the associative tables produce an enormous amount of records".
+Unlike TPC-H, the schema is *not* snowflake-shaped: ``artist_credit``
+connects to releases *and* tracks, and two m:n link tables
+(``artist_credit_name`` and ``release_label``) fan the join out, which
+is why the paper's recovered schema contains a fact-table-like
+top-level relation.
+
+Our eleven tables::
+
+    area ← place ← artist ← artist_credit_name → artist_credit
+    area ← label ← release_label → release → medium ← track
+    track → recording ;  track/release → artist_credit
+
+``area`` appears on both the artist path (via ``place``) and the label
+path; its two occurrences are column-prefixed (``pa_``/``la_``), like
+the duplicated nation/region tables in the TPC-H join.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datagen.denormalize import JoinSpec, denormalize
+from repro.evaluation.metrics import GoldRelation
+from repro.model.instance import RelationInstance
+from repro.model.schema import ForeignKey, Relation
+
+__all__ = [
+    "MUSICBRAINZ_GOLD",
+    "MusicBrainzScale",
+    "denormalized_musicbrainz",
+    "generate_musicbrainz",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MusicBrainzScale:
+    """Row counts per table; defaults keep pure-Python discovery fast."""
+
+    areas: int = 8
+    places: int = 12
+    artists: int = 24
+    artist_credits: int = 20
+    artist_credit_names: int = 34
+    labels: int = 10
+    releases: int = 26
+    release_labels: int = 34
+    mediums: int = 34
+    recordings: int = 60
+    tracks: int = 110
+    max_joined_rows: int = 420
+
+
+_AREA_NAMES = (
+    "Germany", "France", "Japan", "Brazil", "Canada", "Iceland",
+    "Nigeria", "Australia", "Sweden", "Mexico",
+)
+_FORMATS = ("CD", "Vinyl", "Digital", "Cassette")
+_STATUSES = ("Official", "Promotion", "Bootleg")
+
+
+def generate_musicbrainz(
+    scale: MusicBrainzScale | None = None, seed: int = 7
+) -> dict[str, RelationInstance]:
+    """Generate the eleven core tables with keys and foreign keys."""
+    scale = scale or MusicBrainzScale()
+    rng = random.Random(seed)
+
+    area = RelationInstance.from_rows(
+        Relation("area", ("area_id", "area_name"), primary_key=("area_id",)),
+        [(i, _AREA_NAMES[i % len(_AREA_NAMES)]) for i in range(scale.areas)],
+    )
+
+    place = RelationInstance.from_rows(
+        Relation(
+            "place",
+            ("place_id", "place_name", "place_area"),
+            primary_key=("place_id",),
+            foreign_keys=[ForeignKey(("place_area",), "area", ("area_id",))],
+        ),
+        [
+            (i, f"Venue {i:03d}", rng.randrange(scale.areas))
+            for i in range(scale.places)
+        ],
+    )
+
+    artist = RelationInstance.from_rows(
+        Relation(
+            "artist",
+            ("artist_id", "artist_name", "artist_sort", "artist_year", "artist_place"),
+            primary_key=("artist_id",),
+            foreign_keys=[ForeignKey(("artist_place",), "place", ("place_id",))],
+        ),
+        [
+            (
+                i,
+                f"Artist {i:03d}",
+                f"{i:03d}, Artist",
+                1950 + rng.randrange(60),
+                rng.randrange(scale.places),
+            )
+            for i in range(scale.artists)
+        ],
+    )
+
+    artist_credit = RelationInstance.from_rows(
+        Relation(
+            "artist_credit",
+            ("ac_id", "ac_name", "ac_count"),
+            primary_key=("ac_id",),
+        ),
+        [
+            (i, f"Credit {i:03d}", 1 + rng.randrange(3))
+            for i in range(scale.artist_credits)
+        ],
+    )
+
+    acn_pairs = set()
+    while len(acn_pairs) < scale.artist_credit_names:
+        acn_pairs.add(
+            (rng.randrange(scale.artist_credits), rng.randrange(scale.artists))
+        )
+    artist_credit_name = RelationInstance.from_rows(
+        Relation(
+            "artist_credit_name",
+            ("acn_credit", "acn_artist", "acn_position", "acn_name"),
+            primary_key=("acn_credit", "acn_artist"),
+            foreign_keys=[
+                ForeignKey(("acn_credit",), "artist_credit", ("ac_id",)),
+                ForeignKey(("acn_artist",), "artist", ("artist_id",)),
+            ],
+        ),
+        [
+            (credit, art, rng.randrange(1, 4), f"As credited {credit}/{art}")
+            for credit, art in sorted(acn_pairs)
+        ],
+    )
+
+    label = RelationInstance.from_rows(
+        Relation(
+            "label",
+            ("label_id", "label_name", "label_code", "label_area"),
+            primary_key=("label_id",),
+            foreign_keys=[ForeignKey(("label_area",), "area", ("area_id",))],
+        ),
+        [
+            (i, f"Label {i:02d}", 1000 + i, rng.randrange(scale.areas))
+            for i in range(scale.labels)
+        ],
+    )
+
+    release = RelationInstance.from_rows(
+        Relation(
+            "release",
+            ("release_id", "release_title", "release_credit", "release_status"),
+            primary_key=("release_id",),
+            foreign_keys=[
+                ForeignKey(("release_credit",), "artist_credit", ("ac_id",))
+            ],
+        ),
+        [
+            (
+                i,
+                f"Album {i:03d}",
+                rng.randrange(scale.artist_credits),
+                rng.choice(_STATUSES),
+            )
+            for i in range(scale.releases)
+        ],
+    )
+
+    rl_pairs = set()
+    while len(rl_pairs) < scale.release_labels:
+        rl_pairs.add((rng.randrange(scale.releases), rng.randrange(scale.labels)))
+    release_label = RelationInstance.from_rows(
+        Relation(
+            "release_label",
+            ("rl_release", "rl_label", "rl_catalog"),
+            primary_key=("rl_release", "rl_label"),
+            foreign_keys=[
+                ForeignKey(("rl_release",), "release", ("release_id",)),
+                ForeignKey(("rl_label",), "label", ("label_id",)),
+            ],
+        ),
+        [
+            (rel, lab, f"CAT-{lab}-{rel:03d}")
+            for rel, lab in sorted(rl_pairs)
+        ],
+    )
+
+    medium = RelationInstance.from_rows(
+        Relation(
+            "medium",
+            ("medium_id", "medium_release", "medium_position", "medium_format"),
+            primary_key=("medium_id",),
+            foreign_keys=[
+                ForeignKey(("medium_release",), "release", ("release_id",))
+            ],
+        ),
+        [
+            (
+                i,
+                i % scale.releases,  # every release gets ≥1 medium
+                1 + i // scale.releases,
+                rng.choice(_FORMATS),
+            )
+            for i in range(scale.mediums)
+        ],
+    )
+
+    recording = RelationInstance.from_rows(
+        Relation(
+            "recording",
+            ("recording_id", "recording_name", "recording_length"),
+            primary_key=("recording_id",),
+        ),
+        [
+            (i, f"Song {i:03d}", 120 + rng.randrange(40) * 5)
+            for i in range(scale.recordings)
+        ],
+    )
+
+    track = RelationInstance.from_rows(
+        Relation(
+            "track",
+            (
+                "track_id",
+                "track_medium",
+                "track_position",
+                "track_recording",
+                "track_credit",
+                "track_name",
+            ),
+            primary_key=("track_id",),
+            foreign_keys=[
+                ForeignKey(("track_medium",), "medium", ("medium_id",)),
+                ForeignKey(("track_recording",), "recording", ("recording_id",)),
+                ForeignKey(("track_credit",), "artist_credit", ("ac_id",)),
+            ],
+        ),
+        [
+            (
+                i,
+                rng.randrange(scale.mediums),
+                1 + rng.randrange(12),
+                rng.randrange(scale.recordings),
+                rng.randrange(scale.artist_credits),
+                f"Track {i:04d}",
+            )
+            for i in range(scale.tracks)
+        ],
+    )
+
+    return {
+        "area": area,
+        "place": place,
+        "artist": artist,
+        "artist_credit": artist_credit,
+        "artist_credit_name": artist_credit_name,
+        "label": label,
+        "release": release,
+        "release_label": release_label,
+        "medium": medium,
+        "recording": recording,
+        "track": track,
+    }
+
+
+def _renamed(
+    instance: RelationInstance, renames: dict[str, str], name: str
+) -> RelationInstance:
+    columns = tuple(renames.get(col, col) for col in instance.columns)
+    return RelationInstance(Relation(name, columns), instance.columns_data)
+
+
+def denormalized_musicbrainz(
+    scale: MusicBrainzScale | None = None, seed: int = 7
+) -> RelationInstance:
+    """Join the eleven tables into one sampled universal relation."""
+    scale = scale or MusicBrainzScale()
+    tables = generate_musicbrainz(scale, seed)
+    place_area = _renamed(
+        tables["area"],
+        {"area_id": "pa_id", "area_name": "pa_name"},
+        "area_p",
+    )
+    label_area = _renamed(
+        tables["area"],
+        {"area_id": "la_id", "area_name": "la_name"},
+        "area_l",
+    )
+    joins = [
+        JoinSpec(tables["medium"], (("track_medium", "medium_id"),)),
+        JoinSpec(tables["recording"], (("track_recording", "recording_id"),)),
+        JoinSpec(tables["release"], (("medium_release", "release_id"),)),
+        JoinSpec(tables["release_label"], (("medium_release", "rl_release"),)),
+        JoinSpec(tables["label"], (("rl_label", "label_id"),)),
+        JoinSpec(label_area, (("label_area", "la_id"),)),
+        JoinSpec(tables["artist_credit"], (("track_credit", "ac_id"),)),
+        JoinSpec(tables["artist_credit_name"], (("track_credit", "acn_credit"),)),
+        JoinSpec(tables["artist"], (("acn_artist", "artist_id"),)),
+        JoinSpec(tables["place"], (("artist_place", "place_id"),)),
+        JoinSpec(place_area, (("place_area", "pa_id"),)),
+    ]
+    return denormalize(
+        tables["track"],
+        joins,
+        name="musicbrainz_denormalized",
+        max_rows=scale.max_joined_rows,
+        seed=seed,
+    )
+
+
+def _fs(*names: str) -> frozenset[str]:
+    return frozenset(names)
+
+
+#: Gold standard in universal-relation column names.
+MUSICBRAINZ_GOLD: list[GoldRelation] = [
+    GoldRelation(
+        "track",
+        _fs(
+            "track_id", "track_medium", "track_position",
+            "track_recording", "track_credit", "track_name",
+        ),
+        key=_fs("track_id"),
+        references=(
+            ("track_medium", "medium"),
+            ("track_recording", "recording"),
+            ("track_credit", "artist_credit"),
+        ),
+    ),
+    GoldRelation(
+        "medium",
+        _fs("track_medium", "medium_release", "medium_position", "medium_format"),
+        key=_fs("track_medium"),
+        references=(("medium_release", "release"),),
+    ),
+    GoldRelation(
+        "recording",
+        _fs("track_recording", "recording_name", "recording_length"),
+        key=_fs("track_recording"),
+    ),
+    GoldRelation(
+        "release",
+        _fs("medium_release", "release_title", "release_credit", "release_status"),
+        key=_fs("medium_release"),
+        references=(("release_credit", "artist_credit"),),
+    ),
+    GoldRelation(
+        "release_label",
+        _fs("medium_release", "rl_label", "rl_catalog"),
+        key=_fs("medium_release", "rl_label"),
+        references=(("rl_label", "label"),),
+    ),
+    GoldRelation(
+        "label",
+        _fs("rl_label", "label_name", "label_code", "label_area"),
+        key=_fs("rl_label"),
+        references=(("label_area", "area_l"),),
+    ),
+    GoldRelation("area_l", _fs("label_area", "la_name"), key=_fs("label_area")),
+    GoldRelation(
+        "artist_credit",
+        _fs("track_credit", "ac_name", "ac_count"),
+        key=_fs("track_credit"),
+    ),
+    GoldRelation(
+        "artist_credit_name",
+        _fs("track_credit", "acn_artist", "acn_position", "acn_name"),
+        key=_fs("track_credit", "acn_artist"),
+        references=(("acn_artist", "artist"),),
+    ),
+    GoldRelation(
+        "artist",
+        _fs(
+            "acn_artist", "artist_name", "artist_sort",
+            "artist_year", "artist_place",
+        ),
+        key=_fs("acn_artist"),
+        references=(("artist_place", "place"),),
+    ),
+    GoldRelation(
+        "place",
+        _fs("artist_place", "place_name", "place_area"),
+        key=_fs("artist_place"),
+        references=(("place_area", "area_p"),),
+    ),
+    GoldRelation("area_p", _fs("place_area", "pa_name"), key=_fs("place_area")),
+]

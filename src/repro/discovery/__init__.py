@@ -1,0 +1,51 @@
+"""FD and UCC discovery algorithms.
+
+The paper's pipeline starts by discovering *all minimal* functional
+dependencies of the instance.  This package provides:
+
+* :mod:`repro.discovery.bruteforce` — an FDep-style exact discoverer
+  built on maximal agree sets and minimal hitting sets; slow but simple,
+  it doubles as the test oracle for the faster algorithms,
+* :mod:`repro.discovery.tane` — TANE [Huhtala et al. 1999], the classic
+  levelwise algorithm the paper cites for step (1),
+* :mod:`repro.discovery.dfd` — DFD [Abedjan et al. 2014], random-walk
+  discovery, also cited as an alternative,
+* :mod:`repro.discovery.hyfd` — HyFD [Papenbrock & Naumann 2016], the
+  hybrid sampling/validation algorithm Normalize actually uses,
+* :mod:`repro.discovery.ucc` — unique column combination discovery
+  (levelwise and DUCC-style random walk) for the primary-key selection
+  component.
+"""
+
+from repro.discovery.base import FDAlgorithm, discover_fds
+from repro.discovery.bruteforce import BruteForceFD
+from repro.discovery.dfd import DFD
+from repro.discovery.hyfd import HyFD
+from repro.discovery.hyucc import HyUCC
+from repro.discovery.ind import (
+    IND,
+    discover_unary_inds,
+    ind_holds,
+    verify_foreign_keys,
+)
+from repro.discovery.precomputed import PrecomputedFDs
+from repro.discovery.tane import Tane
+from repro.discovery.ucc import DuccUCC, NaiveUCC, discover_uccs
+
+__all__ = [
+    "DFD",
+    "IND",
+    "BruteForceFD",
+    "DuccUCC",
+    "FDAlgorithm",
+    "HyFD",
+    "HyUCC",
+    "NaiveUCC",
+    "PrecomputedFDs",
+    "Tane",
+    "discover_fds",
+    "discover_uccs",
+    "discover_unary_inds",
+    "ind_holds",
+    "verify_foreign_keys",
+]

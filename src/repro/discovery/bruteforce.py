@@ -1,0 +1,82 @@
+"""FDep-style exact FD discovery: agree sets + minimal hitting sets.
+
+For every pair of records, the *agree set* is the set of attributes on
+which the two records agree.  An FD ``X → A`` is violated exactly by the
+pairs whose agree set contains ``X`` but not ``A``; hence the minimal
+valid LHSs for ``A`` are the minimal hitting sets of the complements of
+the (maximal) agree sets that miss ``A``.
+
+This is quadratic in the number of records and exponential in the
+attribute count, so it is no competitor to TANE/HyFD — but it is short,
+obviously correct, and therefore the ideal oracle for the property-based
+tests of the faster discoverers.
+"""
+
+from __future__ import annotations
+
+from repro.discovery.base import FDAlgorithm
+from repro.discovery.hitting_sets import minimal_hitting_sets
+from repro.model.attributes import full_mask
+from repro.model.fd import FDSet
+from repro.model.instance import RelationInstance
+from repro.structures.partitions import column_value_ids
+
+__all__ = ["BruteForceFD", "distinct_agree_sets"]
+
+
+def distinct_agree_sets(
+    instance: RelationInstance, null_equals_null: bool = True
+) -> list[int]:
+    """Compute the distinct agree sets over all record pairs.
+
+    The result never contains the full attribute set (duplicate rows
+    agree everywhere and violate nothing).  An empty list means every
+    pair of records is either fully identical or absent (≤1 distinct
+    row), in which case every FD holds.  Reduction to *per-attribute
+    maximal* sets happens inside the hitting-set enumerator: globally
+    maximal agree sets would be wrong, because a set subsumed by a
+    superset that contains the RHS attribute still witnesses violations
+    for that attribute.
+    """
+    probes = [
+        column_value_ids(column, null_equals_null)
+        for column in instance.columns_data
+    ]
+    rows = instance.num_rows
+    arity = instance.arity
+    everything = full_mask(arity)
+    agree_sets: set[int] = set()
+    for left in range(rows):
+        left_values = [probes[col][left] for col in range(arity)]
+        for right in range(left + 1, rows):
+            agree = 0
+            for col in range(arity):
+                if left_values[col] == probes[col][right]:
+                    agree |= 1 << col
+            if agree != everything:
+                agree_sets.add(agree)
+    return sorted(agree_sets)
+
+
+class BruteForceFD(FDAlgorithm):
+    """Exact minimal-FD discovery from pairwise agree sets."""
+
+    name = "bruteforce"
+
+    def discover(self, instance: RelationInstance) -> FDSet:
+        arity = instance.arity
+        result = FDSet(arity)
+        if arity == 0:
+            return result
+        agree_sets = distinct_agree_sets(instance, self.null_equals_null)
+        everything = full_mask(arity)
+        for attr in range(arity):
+            attr_bit = 1 << attr
+            universe = everything & ~attr_bit
+            difference_sets = [
+                ~agree & universe for agree in agree_sets if not agree & attr_bit
+            ]
+            for lhs in minimal_hitting_sets(difference_sets, universe):
+                if self._within_lhs_bound(lhs):
+                    result.add_masks(lhs, attr_bit)
+        return result

@@ -1,0 +1,92 @@
+"""HyFD validation phase: check positive-cover candidates against the data.
+
+Candidates are validated level by level (by LHS size).  A candidate
+``X → a`` is checked with stripped partitions: every cluster of π(X)
+must agree on ``a``'s value ids.  An invalid candidate is removed and
+specialized — using the concrete violating record pair's *full* agree
+set, which simultaneously enriches the negative cover.
+
+The "hybrid" switch: if a level refutes more than ``switch_threshold``
+of its candidates, validation is interrupted and the sampler runs more
+rounds (guided evidence is cheaper than failing validations); the new
+evidence is inducted into the tree and the same level is re-collected.
+With the sampler exhausted the loop always falls back to pure
+validation, so termination and exactness never depend on sampling.
+"""
+
+from __future__ import annotations
+
+from repro.discovery.hyfd.induction import apply_agree_set, specialize
+from repro.discovery.hyfd.sampler import Sampler
+from repro.model.attributes import iter_bits
+from repro.structures.fdtree import FDTree
+from repro.structures.partitions import PLICache
+
+__all__ = ["validate_tree"]
+
+
+def validate_tree(
+    tree: FDTree,
+    cache: PLICache,
+    sampler: Sampler | None = None,
+    max_lhs_size: int | None = None,
+    switch_threshold: float = 0.2,
+    sample_rounds_per_switch: int = 4,
+) -> None:
+    """Mutate ``tree`` until it holds exactly the valid minimal FDs."""
+    level = 0
+    while level <= tree.depth():
+        candidates = list(tree.iter_level(level))
+        total = sum(rhs.bit_count() for _, rhs in candidates)
+        if total == 0:
+            level += 1
+            continue
+        invalid = _validate_level(tree, cache, candidates, max_lhs_size)
+        if (
+            sampler is not None
+            and not sampler.exhausted
+            and invalid / total > switch_threshold
+        ):
+            # Hybrid switch: gather cheap evidence, induct it, redo level.
+            fresh: list[int] = []
+            for _ in range(sample_rounds_per_switch):
+                fresh.extend(sampler.next_round())
+                if sampler.exhausted:
+                    break
+            for agree in sorted(set(fresh), key=lambda mask: -mask.bit_count()):
+                apply_agree_set(tree, agree, max_lhs_size)
+            continue  # re-collect the same level
+        level += 1
+
+
+def _validate_level(
+    tree: FDTree,
+    cache: PLICache,
+    candidates: list[tuple[int, int]],
+    max_lhs_size: int | None,
+) -> int:
+    """Validate one level's candidates; return the number refuted."""
+    invalid = 0
+    for lhs, rhs_mask in candidates:
+        for rhs_attr in iter_bits(rhs_mask):
+            if not tree.contains_fd(lhs, rhs_attr):
+                continue  # already specialized away within this level pass
+            probe = cache.probe(rhs_attr)
+            pair = cache.get(lhs).find_violating_pair(probe)
+            if pair is None:
+                continue
+            invalid += 1
+            tree.remove(lhs, 1 << rhs_attr)
+            agree = _agree_set_of_pair(cache, pair)
+            specialize(tree, lhs, rhs_attr, agree, max_lhs_size)
+    return invalid
+
+
+def _agree_set_of_pair(cache: PLICache, pair: tuple[int, int]) -> int:
+    left, right = pair
+    agree = 0
+    for attr in range(cache.instance.arity):
+        probe = cache.probe(attr)
+        if probe[left] == probe[right]:
+            agree |= 1 << attr
+    return agree

@@ -1,0 +1,169 @@
+"""Inclusion dependency (IND) discovery and foreign-key verification.
+
+The paper's foreign-key scoring (§7.2) is "inspired by [Rostin et al.],
+who extracted foreign keys from inclusion dependencies"; this module
+supplies the IND side of that picture for the *output* of Normalize:
+
+* :func:`discover_unary_inds` — all unary INDs ``R.A ⊆ S.B`` across a
+  set of relation instances (value-set inclusion, NULLs ignored as in
+  SQL foreign-key semantics),
+* :func:`ind_holds` — n-ary IND check for explicit column tuples,
+* :func:`verify_foreign_keys` — audit every declared foreign key of a
+  normalized schema: the referencing values must be included in the
+  referenced columns *and* the referenced columns must be unique.
+  Normalize's decompositions guarantee both by construction; the
+  verifier makes that guarantee checkable, and flags violations when
+  data was edited afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.instance import RelationInstance
+
+__all__ = [
+    "IND",
+    "ForeignKeyAudit",
+    "discover_unary_inds",
+    "ind_holds",
+    "verify_foreign_keys",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class IND:
+    """A (possibly n-ary) inclusion dependency between two relations."""
+
+    dependent_relation: str
+    dependent_columns: tuple[str, ...]
+    referenced_relation: str
+    referenced_columns: tuple[str, ...]
+
+    def to_str(self) -> str:
+        dep = ",".join(self.dependent_columns)
+        ref = ",".join(self.referenced_columns)
+        return (
+            f"{self.dependent_relation}({dep}) <= "
+            f"{self.referenced_relation}({ref})"
+        )
+
+
+def _non_null_values(instance: RelationInstance, columns) -> set[tuple]:
+    data = [instance.column(col) for col in columns]
+    return {
+        row
+        for row in zip(*data)
+        if all(value is not None for value in row)
+    }
+
+
+def ind_holds(
+    dependent: RelationInstance,
+    dependent_columns,
+    referenced: RelationInstance,
+    referenced_columns,
+) -> bool:
+    """True iff every non-NULL dependent combination appears referenced.
+
+    Rows with a NULL in any dependent column are exempt, matching SQL's
+    foreign-key semantics (MATCH SIMPLE).
+    """
+    if len(dependent_columns) != len(referenced_columns):
+        raise ValueError("column lists differ in width")
+    if not dependent_columns:
+        raise ValueError("need at least one column")
+    left = _non_null_values(dependent, dependent_columns)
+    right = _non_null_values(referenced, referenced_columns)
+    return left <= right
+
+
+def discover_unary_inds(
+    instances: dict[str, RelationInstance],
+    allow_self: bool = False,
+) -> list[IND]:
+    """All valid unary INDs across the given relations.
+
+    Columns with no non-NULL values are skipped (they are trivially
+    included everywhere and carry no signal).  ``allow_self`` includes
+    INDs between different columns of the same relation.
+    """
+    value_sets: list[tuple[str, str, set]] = []
+    for name, instance in instances.items():
+        for column in instance.columns:
+            values = _non_null_values(instance, [column])
+            if values:
+                value_sets.append((name, column, values))
+
+    inds: list[IND] = []
+    for dep_rel, dep_col, dep_values in value_sets:
+        for ref_rel, ref_col, ref_values in value_sets:
+            if dep_rel == ref_rel and (not allow_self or dep_col == ref_col):
+                continue
+            if dep_values <= ref_values:
+                inds.append(
+                    IND(dep_rel, (dep_col,), ref_rel, (ref_col,))
+                )
+    return inds
+
+
+@dataclass(frozen=True, slots=True)
+class ForeignKeyAudit:
+    """The verification result of one declared foreign key."""
+
+    relation: str
+    foreign_key: str
+    inclusion_holds: bool
+    referenced_unique: bool
+    dangling_values: tuple[tuple, ...]
+
+    @property
+    def valid(self) -> bool:
+        return self.inclusion_holds and self.referenced_unique
+
+    def to_str(self) -> str:
+        status = "OK" if self.valid else "BROKEN"
+        details = []
+        if not self.inclusion_holds:
+            sample = ", ".join(map(repr, self.dangling_values[:3]))
+            details.append(f"dangling values: {sample}")
+        if not self.referenced_unique:
+            details.append("referenced columns are not unique")
+        suffix = f" ({'; '.join(details)})" if details else ""
+        return f"[{status}] {self.relation}.{self.foreign_key}{suffix}"
+
+
+def verify_foreign_keys(
+    instances: dict[str, RelationInstance],
+) -> list[ForeignKeyAudit]:
+    """Audit every declared foreign key across the given instances."""
+    audits: list[ForeignKeyAudit] = []
+    for name, instance in instances.items():
+        for fk in instance.relation.foreign_keys:
+            target = instances.get(fk.ref_relation)
+            if target is None:
+                audits.append(
+                    ForeignKeyAudit(
+                        relation=name,
+                        foreign_key=fk.to_str(),
+                        inclusion_holds=False,
+                        referenced_unique=False,
+                        dangling_values=(),
+                    )
+                )
+                continue
+            left = _non_null_values(instance, fk.columns)
+            right = _non_null_values(target, fk.ref_columns)
+            dangling = tuple(sorted(left - right))
+            ref_data = [target.column(col) for col in fk.ref_columns]
+            ref_rows = list(zip(*ref_data))
+            audits.append(
+                ForeignKeyAudit(
+                    relation=name,
+                    foreign_key=fk.to_str(),
+                    inclusion_holds=not dangling,
+                    referenced_unique=len(set(ref_rows)) == len(ref_rows),
+                    dangling_values=dangling,
+                )
+            )
+    return audits

@@ -1,0 +1,166 @@
+"""Shared lattice search for minimal satisfying attribute sets.
+
+DFD (functional dependencies per RHS attribute) and DUCC (unique column
+combinations) both solve the same abstract problem: given an *upward
+monotone* predicate over subsets of a universe (supersets of a
+satisfying set satisfy it too), find all inclusion-minimal satisfying
+sets.  Both papers use the same machinery: classify nodes as
+(non-)dependencies during random walks, record minimal dependencies and
+maximal non-dependencies, and use the *minimal hitting sets of the
+complements of the maximal non-dependencies* to find unexplored holes
+and to prove completeness.
+
+This module implements that machinery once:
+
+* an optional random-walk priming phase (the DFD/DUCC flavour) that
+  cheaply seeds the minimal/maximal sets,
+* the hitting-set-driven completion loop, which is guaranteed to
+  terminate with exactly the minimal satisfying sets.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from repro.discovery.hitting_sets import minimal_hitting_sets
+from repro.model.attributes import iter_bits
+from repro.structures.settrie import SetTrie
+
+__all__ = ["find_minimal_satisfying"]
+
+
+class _Classifier:
+    """Memoized predicate with minimal/maximal boundary pruning."""
+
+    __slots__ = ("predicate", "universe", "min_sat", "max_unsat", "cache", "evaluations")
+
+    def __init__(self, predicate: Callable[[int], bool], universe: int) -> None:
+        self.predicate = predicate
+        self.universe = universe
+        self.min_sat = SetTrie()
+        self.max_unsat = SetTrie()
+        self.cache: dict[int, bool] = {}
+        self.evaluations = 0
+
+    def satisfies(self, mask: int) -> bool:
+        if self.min_sat.contains_subset_of(mask):
+            return True
+        if self.max_unsat.contains_superset_of(mask):
+            return False
+        cached = self.cache.get(mask)
+        if cached is None:
+            cached = self.predicate(mask)
+            self.evaluations += 1
+            self.cache[mask] = cached
+        return cached
+
+    def minimize(self, mask: int) -> int:
+        """Walk down to an inclusion-minimal satisfying subset."""
+        changed = True
+        while changed:
+            changed = False
+            for attr in iter_bits(mask):
+                smaller = mask & ~(1 << attr)
+                if self.satisfies(smaller):
+                    mask = smaller
+                    changed = True
+                    break
+        return mask
+
+    def maximize(self, mask: int) -> int:
+        """Walk up to an inclusion-maximal non-satisfying superset."""
+        changed = True
+        while changed:
+            changed = False
+            for attr in iter_bits(self.universe & ~mask):
+                bigger = mask | (1 << attr)
+                if not self.satisfies(bigger):
+                    mask = bigger
+                    changed = True
+                    break
+        return mask
+
+
+def find_minimal_satisfying(
+    predicate: Callable[[int], bool],
+    universe: int,
+    seed: int | None = None,
+    random_walks: int = 0,
+) -> list[int]:
+    """Return all minimal subsets of ``universe`` satisfying ``predicate``.
+
+    ``predicate`` must be upward monotone.  ``random_walks`` > 0 enables
+    the DFD/DUCC-style priming walks (seeded for determinism); the
+    completion loop afterwards makes the result exact regardless.
+    """
+    classifier = _Classifier(predicate, universe)
+
+    # Trivial boundaries first.
+    if classifier.satisfies(0):
+        return [0]
+    if not classifier.satisfies(universe):
+        return []
+
+    if random_walks > 0:
+        _prime_with_random_walks(classifier, seed, random_walks)
+
+    return _complete_with_hitting_sets(classifier)
+
+
+def _prime_with_random_walks(
+    classifier: _Classifier, seed: int | None, walks: int
+) -> None:
+    """DFD-style priming: random walks that pin down boundary elements."""
+    rng = random.Random(seed)
+    attributes = list(iter_bits(classifier.universe))
+    for _ in range(walks):
+        start = 1 << rng.choice(attributes)
+        if classifier.satisfies(start):
+            classifier.min_sat.insert(classifier.minimize(start))
+        else:
+            # Walk upward randomly until satisfied, then settle both ends.
+            current = start
+            while not classifier.satisfies(current):
+                missing = list(iter_bits(classifier.universe & ~current))
+                if not missing:
+                    break
+                current |= 1 << rng.choice(missing)
+            if classifier.satisfies(current):
+                classifier.min_sat.insert(classifier.minimize(current))
+            down = classifier.maximize(start)
+            classifier.max_unsat.insert(down)
+
+
+def _complete_with_hitting_sets(classifier: _Classifier) -> list[int]:
+    """The duality loop: candidates are minimal hitting sets of the
+    complements of known maximal non-satisfying sets.
+
+    Each round either confirms a candidate as a (new) minimal satisfying
+    set or discovers a new maximal non-satisfying set; both sets are
+    finite, so the loop terminates — and at a fixpoint, duality makes
+    the result provably complete.
+    """
+    universe = classifier.universe
+    while True:
+        complements = [
+            universe & ~non_sat for non_sat in classifier.max_unsat.iter_all()
+        ]
+        candidates = minimal_hitting_sets(complements, universe)
+        new_unsat: list[int] = []
+        progressed = False
+        for candidate in candidates:
+            if candidate in classifier.min_sat:
+                continue
+            progressed = True
+            if classifier.satisfies(candidate):
+                # A satisfying minimal hitting set is a minimal
+                # satisfying set (its minimization also hits every
+                # complement, so minimality of the hitting set pins it).
+                classifier.min_sat.insert(candidate)
+            else:
+                new_unsat.append(classifier.maximize(candidate))
+        for mask in new_unsat:
+            classifier.max_unsat.insert(mask)
+        if not progressed:
+            return sorted(classifier.min_sat.iter_all())

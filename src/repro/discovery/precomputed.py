@@ -1,0 +1,46 @@
+"""An FD "discoverer" that returns known FD sets.
+
+Useful whenever the complete minimal FDs of a relation are already
+known — from a previous discovery run, a cached profiling result, or a
+test — and re-running discovery would waste time.  The benchmark
+harness uses it to share one discovery run across several pipeline
+configurations (the paper's ablation-style comparisons).
+"""
+
+from __future__ import annotations
+
+from repro.discovery.base import FDAlgorithm
+from repro.model.fd import FDSet
+from repro.model.instance import RelationInstance
+
+__all__ = ["PrecomputedFDs"]
+
+
+class PrecomputedFDs(FDAlgorithm):
+    """Serves stored FD sets, keyed by relation name.
+
+    The stored sets must be complete sets of minimal FDs (the contract
+    every pipeline stage relies on); they are returned as copies so the
+    pipeline can never corrupt the originals.
+    """
+
+    name = "precomputed"
+
+    def __init__(self, fds_by_relation: dict[str, FDSet]) -> None:
+        super().__init__()
+        self._fds_by_relation = dict(fds_by_relation)
+
+    def discover(self, instance: RelationInstance) -> FDSet:
+        stored = self._fds_by_relation.get(instance.name)
+        if stored is None:
+            raise KeyError(
+                f"no precomputed FDs for relation {instance.name!r}; "
+                f"known: {sorted(self._fds_by_relation)}"
+            )
+        if stored.num_attributes != instance.arity:
+            raise ValueError(
+                f"precomputed FDs for {instance.name!r} cover "
+                f"{stored.num_attributes} attributes but the instance has "
+                f"{instance.arity}"
+            )
+        return stored.copy()

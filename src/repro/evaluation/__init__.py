@@ -1,0 +1,21 @@
+"""Evaluation harness: schema-recovery metrics, timing, report tables."""
+
+from repro.evaluation.metrics import (
+    GoldRelation,
+    SchemaRecoveryReport,
+    evaluate_schema_recovery,
+)
+from repro.evaluation.redundancy import redundancy_report
+from repro.evaluation.reporting import format_table
+from repro.evaluation.snowflake import schema_tree
+from repro.evaluation.timing import Stopwatch
+
+__all__ = [
+    "GoldRelation",
+    "SchemaRecoveryReport",
+    "Stopwatch",
+    "evaluate_schema_recovery",
+    "format_table",
+    "redundancy_report",
+    "schema_tree",
+]

@@ -1,0 +1,157 @@
+"""Schema-recovery metrics against a gold standard (paper §8.3).
+
+The paper judges normalization quality visually (Figures 3 and 4: "we
+can identify all original relations in the normalized result").  To
+make that comparable and regression-testable, this module quantifies
+it:
+
+* **attribute co-location** — treat each schema as a partition-ish
+  grouping of attributes and compare the sets of *attribute pairs that
+  share a relation*: precision (recovered pairs that are real), recall
+  (real pairs that were recovered), F1,
+* **relation recovery** — for every gold relation, the best-matching
+  recovered relation by Jaccard similarity over attribute sets,
+* **key accuracy** — among matched relations, how often the chosen
+  primary key equals the gold key,
+* **foreign-key accuracy** — how many gold foreign-key links (pairs of
+  relations connected via a column) appear in the recovered schema.
+
+Attributes listed in ``GoldRelation.wildcard`` (e.g. a constant column
+like TPC-H's ``o_shippriority``, which any relation determines) are
+excluded from the pair metrics — the paper itself treats their
+placement as an understandable flaw, not an error of the method.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.model.schema import Schema
+
+__all__ = ["GoldRelation", "SchemaRecoveryReport", "evaluate_schema_recovery"]
+
+
+@dataclass(frozen=True, slots=True)
+class GoldRelation:
+    """One relation of the gold-standard schema, in universal-relation
+    column names (after the denormalizing join collapsed FK/PK pairs)."""
+
+    name: str
+    columns: frozenset[str]
+    key: frozenset[str]
+    references: tuple[tuple[str, str], ...] = ()  # (via column, target relation)
+    wildcard: frozenset[str] = frozenset()
+
+
+@dataclass(slots=True)
+class SchemaRecoveryReport:
+    """All §8.3-style quality numbers of one normalization result."""
+
+    pair_precision: float
+    pair_recall: float
+    pair_f1: float
+    relation_matches: dict[str, tuple[str, float]]  # gold -> (recovered, jaccard)
+    mean_jaccard: float
+    perfectly_recovered: list[str]
+    key_accuracy: float
+    fk_recall: float
+    num_recovered_relations: int
+    notes: list[str] = field(default_factory=list)
+
+    def to_str(self) -> str:
+        lines = [
+            f"attribute co-location: precision={self.pair_precision:.3f} "
+            f"recall={self.pair_recall:.3f} f1={self.pair_f1:.3f}",
+            f"mean best-match Jaccard: {self.mean_jaccard:.3f} "
+            f"({len(self.perfectly_recovered)} gold relations exactly recovered)",
+            f"key accuracy: {self.key_accuracy:.3f}",
+            f"foreign-key recall: {self.fk_recall:.3f}",
+            f"recovered relations: {self.num_recovered_relations}",
+        ]
+        for gold, (recovered, jaccard) in sorted(self.relation_matches.items()):
+            marker = "=" if jaccard == 1.0 else "~"
+            lines.append(f"  {marker} {gold} -> {recovered} (J={jaccard:.2f})")
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def evaluate_schema_recovery(
+    recovered: Schema, gold: list[GoldRelation]
+) -> SchemaRecoveryReport:
+    """Compare a recovered schema against the gold standard."""
+    wildcard = frozenset(itertools.chain.from_iterable(g.wildcard for g in gold))
+
+    gold_pairs = set()
+    for relation in gold:
+        scorable = sorted(relation.columns - wildcard)
+        gold_pairs.update(itertools.combinations(scorable, 2))
+
+    recovered_sets = {
+        relation.name: frozenset(relation.columns) for relation in recovered
+    }
+    recovered_pairs = set()
+    for columns in recovered_sets.values():
+        scorable = sorted(columns - wildcard)
+        recovered_pairs.update(itertools.combinations(scorable, 2))
+
+    true_positives = len(gold_pairs & recovered_pairs)
+    precision = true_positives / len(recovered_pairs) if recovered_pairs else 1.0
+    recall = true_positives / len(gold_pairs) if gold_pairs else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+
+    matches: dict[str, tuple[str, float]] = {}
+    perfect: list[str] = []
+    key_hits = 0
+    key_total = 0
+    for relation in gold:
+        target = relation.columns - wildcard
+        best_name, best_jaccard = "", 0.0
+        for name, columns in recovered_sets.items():
+            candidate = columns - wildcard
+            union = len(target | candidate)
+            jaccard = len(target & candidate) / union if union else 1.0
+            if jaccard > best_jaccard:
+                best_name, best_jaccard = name, jaccard
+        matches[relation.name] = (best_name, best_jaccard)
+        if best_jaccard == 1.0:
+            perfect.append(relation.name)
+        if relation.key and best_name:
+            key_total += 1
+            chosen = recovered[best_name].primary_key or ()
+            if frozenset(chosen) == relation.key:
+                key_hits += 1
+
+    fk_gold = {
+        (relation.name, via, target)
+        for relation in gold
+        for via, target in relation.references
+    }
+    fk_hits = 0
+    for source, via, target in fk_gold:
+        source_match = matches.get(source, ("", 0.0))[0]
+        target_match = matches.get(target, ("", 0.0))[0]
+        if not source_match or not target_match:
+            continue
+        for fk in recovered[source_match].foreign_keys:
+            if fk.ref_relation == target_match and via in fk.columns:
+                fk_hits += 1
+                break
+
+    return SchemaRecoveryReport(
+        pair_precision=precision,
+        pair_recall=recall,
+        pair_f1=f1,
+        relation_matches=matches,
+        mean_jaccard=(
+            sum(j for _, j in matches.values()) / len(matches) if matches else 1.0
+        ),
+        perfectly_recovered=sorted(perfect),
+        key_accuracy=key_hits / key_total if key_total else 1.0,
+        fk_recall=fk_hits / len(fk_gold) if fk_gold else 1.0,
+        num_recovered_relations=len(recovered_sets),
+    )

@@ -1,0 +1,140 @@
+"""Redundancy accounting: what normalization actually saved.
+
+The paper's §1 motivates normalization by counting stored values
+("the total size of the dataset was reduced from 36 to 27 values") and
+by the update anomalies duplicate values cause.  This module turns
+that motivation into a measurable report for any normalization result:
+
+* per-relation and total stored-value counts before/after,
+* per-column duplication in the original vs. where the column ended
+  up (how many redundant copies of each value disappeared),
+* the anomaly surface: how many cell *updates* a single logical change
+  costs before vs. after (the paper's Mr.-Schmidt-becomes-mayor
+  example: 3 cell updates before, 1 after).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import NormalizationResult
+
+__all__ = ["ColumnRedundancy", "RedundancyReport", "redundancy_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRedundancy:
+    """Duplication of one original column, before and after."""
+
+    column: str
+    relation_after: str
+    values_before: int
+    values_after: int
+    distinct: int
+
+    @property
+    def redundant_before(self) -> int:
+        """Stored copies beyond the first per distinct value, originally."""
+        return self.values_before - self.distinct
+
+    @property
+    def redundant_after(self) -> int:
+        return self.values_after - self.distinct
+
+    @property
+    def max_update_cost_before(self) -> int:
+        """Worst-case cell updates to change one logical value, before."""
+        return self.values_before - self.distinct + 1 if self.distinct else 0
+
+    @property
+    def max_update_cost_after(self) -> int:
+        return self.values_after - self.distinct + 1 if self.distinct else 0
+
+
+@dataclass(slots=True)
+class RedundancyReport:
+    """The savings of one normalization run."""
+
+    original: str
+    values_before: int
+    values_after: int
+    columns: list[ColumnRedundancy]
+
+    @property
+    def values_saved(self) -> int:
+        return self.values_before - self.values_after
+
+    @property
+    def savings_ratio(self) -> float:
+        if self.values_before == 0:
+            return 0.0
+        return self.values_saved / self.values_before
+
+    def to_str(self) -> str:
+        lines = [
+            f"Redundancy report for {self.original!r}: "
+            f"{self.values_before} -> {self.values_after} stored values "
+            f"({self.savings_ratio:.0%} saved)"
+        ]
+        interesting = [
+            col for col in self.columns if col.redundant_before > col.redundant_after
+        ]
+        interesting.sort(
+            key=lambda col: col.redundant_after - col.redundant_before
+        )
+        for col in interesting:
+            lines.append(
+                f"  {col.column}: {col.values_before} -> {col.values_after} "
+                f"copies ({col.distinct} distinct; worst-case update cost "
+                f"{col.max_update_cost_before} -> {col.max_update_cost_after})"
+            )
+        return "\n".join(lines)
+
+
+def redundancy_report(
+    result: NormalizationResult, original_name: str
+) -> RedundancyReport:
+    """Account for every original column's duplication before and after.
+
+    A column's "after" home is the final relation that contains it; the
+    BCNF decomposition keeps each non-LHS attribute in exactly one
+    relation, and shared LHS/foreign-key columns are charged to every
+    relation storing them (they are the price of joinability).
+    """
+    original = result.originals.get(original_name)
+    if original is None:
+        raise ValueError(f"unknown original relation {original_name!r}")
+
+    descendants = {original_name}
+    for step in result.steps:
+        if step.parent in descendants:
+            descendants.discard(step.parent)
+            descendants.add(step.r1)
+            descendants.add(step.r2)
+
+    columns: list[ColumnRedundancy] = []
+    values_after_total = 0
+    for column_index, column in enumerate(original.columns):
+        homes = [
+            result.instances[name]
+            for name in descendants
+            if column in result.instances[name].columns
+        ]
+        values_after = sum(instance.num_rows for instance in homes)
+        values_after_total += values_after
+        distinct = original.distinct_count(1 << column_index)
+        columns.append(
+            ColumnRedundancy(
+                column=column,
+                relation_after=",".join(sorted(h.name for h in homes)),
+                values_before=original.num_rows,
+                values_after=values_after,
+                distinct=distinct,
+            )
+        )
+    return RedundancyReport(
+        original=original_name,
+        values_before=original.num_values,
+        values_after=values_after_total,
+        columns=columns,
+    )

@@ -1,0 +1,46 @@
+"""ASCII table rendering for benchmark output.
+
+The benchmarks print paper-style tables (Table 3, the Figure 2 series)
+to stdout; this module renders them with aligned columns so the output
+is directly comparable with the paper's layout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Cells are stringified with ``str``; floats should be pre-formatted
+    by the caller so precision stays under its control.
+    """
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(separator))
+    lines.append(render_row(list(headers)))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)

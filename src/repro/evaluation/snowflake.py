@@ -1,0 +1,74 @@
+"""ASCII rendering of a schema's foreign-key topology.
+
+The paper's Figures 3 and 4 draw the normalized relations as a
+hierarchy along the foreign keys (BCNF decomposition always yields a
+"tree-shaped snowflake schema", §3).  This module renders exactly that
+view in text: referencing relations on top, referenced relations
+indented below, shared dimensions repeated with a back-reference
+marker.
+"""
+
+from __future__ import annotations
+
+from repro.model.schema import Schema
+
+__all__ = ["schema_tree"]
+
+
+def schema_tree(schema: Schema) -> str:
+    """Render the FK hierarchy, roots (unreferenced relations) first."""
+    referenced = {
+        fk.ref_relation
+        for relation in schema
+        for fk in relation.foreign_keys
+        if fk.ref_relation in schema
+    }
+    roots = [relation.name for relation in schema if relation.name not in referenced]
+    if not roots:  # pure cycle: pick a stable starting point
+        roots = sorted(relation.name for relation in schema)
+
+    lines: list[str] = []
+    printed: set[str] = set()
+    for root in roots:
+        _render(schema, root, "", "", lines, printed, frozenset())
+    # Anything unreachable from the roots (isolated cycles).
+    for relation in schema:
+        if relation.name not in printed:
+            _render(schema, relation.name, "", "", lines, printed, frozenset())
+    return "\n".join(lines)
+
+
+def _render(
+    schema: Schema,
+    name: str,
+    prefix: str,
+    connector: str,
+    lines: list[str],
+    printed: set[str],
+    path: frozenset[str],
+) -> None:
+    relation = schema[name]
+    repeat = name in printed
+    marker = "  (see above)" if repeat else ""
+    lines.append(f"{prefix}{connector}{relation.to_str()}{marker}")
+    printed.add(name)
+    if repeat or name in path:
+        return
+    children = [fk for fk in relation.foreign_keys if fk.ref_relation in schema]
+    if connector == "":
+        child_prefix = prefix
+    elif connector == "`-- ":
+        child_prefix = prefix + "    "
+    else:  # "|-- "
+        child_prefix = prefix + "|   "
+    for index, fk in enumerate(children):
+        next_connector = "`-- " if index == len(children) - 1 else "|-- "
+        _render(
+            schema,
+            fk.ref_relation,
+            child_prefix,
+            next_connector,
+            lines,
+            printed,
+            path | {name},
+        )

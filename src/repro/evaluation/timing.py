@@ -1,0 +1,46 @@
+"""Minimal timing utilities for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Usage::
+
+        watch = Stopwatch()
+        with watch.lap("closure"):
+            ...
+        watch.seconds("closure")
+    """
+
+    def __init__(self) -> None:
+        self._laps: dict[str, float] = {}
+
+    class _Lap:
+        def __init__(self, watch: "Stopwatch", name: str) -> None:
+            self._watch = watch
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self) -> "Stopwatch._Lap":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc_info: object) -> None:
+            elapsed = time.perf_counter() - self._start
+            laps = self._watch._laps
+            laps[self._name] = laps.get(self._name, 0.0) + elapsed
+
+    def lap(self, name: str) -> "Stopwatch._Lap":
+        return Stopwatch._Lap(self, name)
+
+    def seconds(self, name: str) -> float:
+        return self._laps.get(name, 0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._laps)

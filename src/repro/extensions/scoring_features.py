@@ -1,0 +1,150 @@
+"""Additional constraint-selection features (paper §9 future work).
+
+"We also suggest research on other features for the key and foreign
+key selection that may yield even better results."  This module adds
+three such features and packages them as a drop-in
+:class:`~repro.core.selection.Decider`, so the core §7 scoring stays
+exactly as published while users can opt into the richer ranking:
+
+* **name score** — schema designers name key columns with ``id``,
+  ``key``, ``no``/``nr``/``number`` suffixes; a violating FD whose LHS
+  columns carry such suffixes is more plausibly a real foreign key,
+* **cardinality-ratio score** — dimension tables are much smaller than
+  the fact side: a low distinct(LHS)/rows ratio means the split-off
+  relation removes many duplicate tuples,
+* **rhs-coverage score** — an FD determining a large, *contiguous*
+  block of not-otherwise-determined attributes is more likely a whole
+  entity; measured as the fraction of RHS attributes no other
+  candidate also determines (exclusive coverage).
+
+The extended rank is the mean of the §7 total and the extra features,
+so the published behaviour is recovered by weighting the extras to 0.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.scoring import ViolatingFDScore
+from repro.core.selection import Decider
+from repro.model.attributes import count_bits, iter_bits
+from repro.model.instance import RelationInstance
+
+__all__ = ["ExtendedScore", "ExtendedScoringDecider", "extended_scores"]
+
+# snake_case ("customer_id"), bare ("id"), or camelCase ("CustomerID")
+# key-ish suffixes; plain words that merely *end* in "id" (e.g. "said")
+# must not match, hence the boundary alternatives.
+_KEYISH_SUFFIX = re.compile(
+    r"(?:(?:^|_)(?i:id|key|no|nr|number|code)|[a-z](?:Id|ID|Key|KEY))$"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ExtendedScore:
+    """A §7 score enriched with the three extension features."""
+
+    base: ViolatingFDScore
+    name_score: float
+    cardinality_score: float
+    coverage_score: float
+    extras_weight: float
+
+    @property
+    def total(self) -> float:
+        extras = (self.name_score + self.cardinality_score + self.coverage_score) / 3
+        return (
+            self.base.total + self.extras_weight * extras
+        ) / (1.0 + self.extras_weight)
+
+
+def name_score(instance: RelationInstance, lhs: int) -> float:
+    """Fraction of LHS columns with key-ish name suffixes."""
+    names = [instance.columns[i] for i in iter_bits(lhs)]
+    if not names:
+        return 0.0
+    hits = sum(1 for name in names if _KEYISH_SUFFIX.search(name))
+    return hits / len(names)
+
+
+def cardinality_ratio_score(instance: RelationInstance, lhs: int) -> float:
+    """``1 − distinct(lhs)/rows``: low-cardinality LHSs make good dimensions."""
+    rows = instance.num_rows
+    if rows == 0:
+        return 0.0
+    return max(0.0, 1.0 - instance.distinct_count(lhs) / rows)
+
+
+def coverage_score(
+    score: ViolatingFDScore, all_scores: list[ViolatingFDScore]
+) -> float:
+    """Fraction of the RHS no other candidate's RHS also covers."""
+    rhs = score.fd.rhs
+    if not rhs:
+        return 0.0
+    others = 0
+    for other in all_scores:
+        if other.fd is score.fd:
+            continue
+        others |= other.fd.rhs
+    exclusive = rhs & ~others
+    return count_bits(exclusive) / count_bits(rhs)
+
+
+def extended_scores(
+    instance: RelationInstance,
+    ranking: list[ViolatingFDScore],
+    extras_weight: float = 1.0,
+) -> list[ExtendedScore]:
+    """Enrich and re-rank a §7 ranking with the extension features."""
+    enriched = [
+        ExtendedScore(
+            base=score,
+            name_score=name_score(instance, score.fd.lhs),
+            cardinality_score=cardinality_ratio_score(instance, score.fd.lhs),
+            coverage_score=coverage_score(score, ranking),
+            extras_weight=extras_weight,
+        )
+        for score in ranking
+    ]
+    enriched.sort(
+        key=lambda s: (-s.total, count_bits(s.base.fd.lhs), s.base.fd.lhs)
+    )
+    return enriched
+
+
+class ExtendedScoringDecider(Decider):
+    """A decider that re-ranks violating FDs with the extension features.
+
+    Wraps any inner decider (default: automatic top-pick), feeding it
+    the re-ranked candidate list — the inner decider's index refers to
+    the *extended* order, which this class maps back to the original
+    ranking for the pipeline.
+    """
+
+    def __init__(self, extras_weight: float = 1.0) -> None:
+        if extras_weight < 0:
+            raise ValueError("extras_weight must be non-negative")
+        self.extras_weight = extras_weight
+
+    def choose_violating_fd(self, instance, ranking):
+        if not ranking:
+            return None
+        enriched = extended_scores(instance, ranking, self.extras_weight)
+        best = enriched[0].base
+        return next(i for i, score in enumerate(ranking) if score is best)
+
+    def choose_primary_key(self, instance, ranking):
+        if not ranking:
+            return None
+        # keys: combine the §7.1 total with the name feature only (the
+        # other extras target foreign keys).
+        def total(score):
+            return (
+                score.total
+                + self.extras_weight * name_score(instance, score.key)
+            ) / (1.0 + self.extras_weight)
+
+        best = max(range(len(ranking)), key=lambda i: total(ranking[i]))
+        return best

@@ -1,0 +1,36 @@
+"""I/O: CSV and JSON, bundled micro-datasets, SQL DDL and DOT export."""
+
+from repro.io.csv_io import read_csv, write_csv
+from repro.io.datasets import (
+    address_example,
+    denormalized_university,
+    planets_example,
+)
+from repro.io.ddl import schema_to_ddl
+from repro.io.graphviz import schema_to_dot
+from repro.io.serialization import (
+    fdset_from_json,
+    fdset_to_json,
+    load_fdset,
+    result_to_json,
+    save_fdset,
+    schema_from_json,
+    schema_to_json,
+)
+
+__all__ = [
+    "address_example",
+    "denormalized_university",
+    "fdset_from_json",
+    "fdset_to_json",
+    "load_fdset",
+    "planets_example",
+    "read_csv",
+    "result_to_json",
+    "save_fdset",
+    "schema_from_json",
+    "schema_to_ddl",
+    "schema_to_dot",
+    "schema_to_json",
+    "write_csv",
+]

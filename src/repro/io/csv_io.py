@@ -1,0 +1,69 @@
+"""CSV input and output for relation instances.
+
+The paper's tool consumes plain relational files through the Metanome
+framework; this module is our equivalent.  Values are read as strings;
+empty fields become NULL (``None``) unless ``empty_as_null=False``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+
+__all__ = ["read_csv", "write_csv"]
+
+
+def read_csv(
+    path: str | Path,
+    name: str | None = None,
+    delimiter: str = ",",
+    has_header: bool = True,
+    empty_as_null: bool = True,
+) -> RelationInstance:
+    """Read a CSV file into a :class:`RelationInstance`.
+
+    Without a header row, columns are named ``col_0 … col_{n-1}``.  The
+    relation name defaults to the file stem.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{path} is empty; cannot infer a schema")
+    if has_header:
+        header, data_rows = tuple(rows[0]), rows[1:]
+    else:
+        header = tuple(f"col_{index}" for index in range(len(rows[0])))
+        data_rows = rows
+    relation = Relation(name or path.stem, header)
+    converted = []
+    for line_number, row in enumerate(data_rows, start=2 if has_header else 1):
+        if len(row) != len(header):
+            raise ValueError(
+                f"{path}:{line_number}: expected {len(header)} fields, "
+                f"got {len(row)}"
+            )
+        if empty_as_null:
+            converted.append(tuple(value if value != "" else None for value in row))
+        else:
+            converted.append(tuple(row))
+    return RelationInstance.from_rows(relation, converted)
+
+
+def write_csv(
+    instance: RelationInstance,
+    path: str | Path,
+    delimiter: str = ",",
+    null_as: str = "",
+) -> None:
+    """Write an instance to CSV (header row included, NULL as ``null_as``)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(instance.columns)
+        for row in instance.iter_rows():
+            writer.writerow([null_as if value is None else value for value in row])

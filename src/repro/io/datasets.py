@@ -1,0 +1,76 @@
+"""Bundled micro-datasets from the paper's motivating examples.
+
+* :func:`address_example` — Table 1, the running example
+  (``Postcode → City, Mayor`` anomalies),
+* :func:`planets_example` — the §1 anecdote that ``Atmosphere → Rings``
+  holds on planet datasets although a human would not guess it,
+* :func:`denormalized_university` — the §5 professor/teaches/class
+  example whose join hides the key ``{name, label}`` that is no
+  minimal-FD LHS (motivates DUCC in primary-key selection).
+"""
+
+from __future__ import annotations
+
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+
+__all__ = ["address_example", "denormalized_university", "planets_example"]
+
+
+def address_example() -> RelationInstance:
+    """The paper's Table 1 address dataset (6 rows, 5 attributes)."""
+    relation = Relation(
+        "address", ("First", "Last", "Postcode", "City", "Mayor")
+    )
+    rows = [
+        ("Thomas", "Miller", "14482", "Potsdam", "Jakobs"),
+        ("Sarah", "Miller", "14482", "Potsdam", "Jakobs"),
+        ("Peter", "Smith", "60329", "Frankfurt", "Feldmann"),
+        ("Jasmine", "Cone", "01069", "Dresden", "Orosz"),
+        ("Mike", "Cone", "14482", "Potsdam", "Jakobs"),
+        ("Thomas", "Moore", "60329", "Frankfurt", "Feldmann"),
+    ]
+    return RelationInstance.from_rows(relation, rows)
+
+
+def planets_example() -> RelationInstance:
+    """A small solar-system table on which ``Atmosphere → Rings`` holds."""
+    relation = Relation(
+        "planets", ("Planet", "Atmosphere", "Rings", "Moons", "Type")
+    )
+    rows = [
+        ("Mercury", "none", "no", "0", "rocky"),
+        ("Venus", "co2", "no", "0", "rocky"),
+        ("Earth", "n2o2", "no", "1", "rocky"),
+        ("Mars", "co2", "no", "2", "rocky"),
+        ("Jupiter", "h2he", "yes", "95", "gas"),
+        ("Saturn", "h2he", "yes", "146", "gas"),
+        ("Uranus", "h2hech4", "yes", "28", "ice"),
+        ("Neptune", "h2hech4", "yes", "16", "ice"),
+    ]
+    return RelationInstance.from_rows(relation, rows)
+
+
+def denormalized_university() -> RelationInstance:
+    """The §5 join ``Professor ⋈ Teaches ⋈ Class``.
+
+    Its primary key ``{name, label}`` cannot be derived from minimal
+    FDs (``name → department, salary`` and ``label → room, date`` are
+    the minimal ones), which is why primary-key selection needs full
+    key discovery.
+    """
+    relation = Relation(
+        "university",
+        ("name", "label", "department", "salary", "room", "date"),
+    )
+    rows = [
+        ("Curie", "PHY1", "Physics", "70000", "H1", "Mon"),
+        ("Curie", "PHY2", "Physics", "70000", "H2", "Tue"),
+        ("Noether", "MAT1", "Mathematics", "68000", "H3", "Mon"),
+        ("Noether", "PHY1", "Mathematics", "68000", "H1", "Mon"),
+        ("Turing", "INF1", "Informatics", "72000", "H4", "Wed"),
+        ("Turing", "INF2", "Informatics", "72000", "H5", "Thu"),
+        ("Hopper", "INF1", "Informatics", "71000", "H4", "Wed"),
+        ("Hopper", "MAT1", "Informatics", "71000", "H3", "Mon"),
+    ]
+    return RelationInstance.from_rows(relation, rows)

@@ -1,0 +1,65 @@
+"""Graphviz DOT export for schemas (paper §9 future work).
+
+"Future work shall concentrate on emphasizing the user-in-the-loop,
+for instance, by employing graphical previews of normalized relations
+and their connections."  This module renders a schema as a DOT graph:
+one record-shaped node per relation (key columns marked) and one edge
+per foreign key — paste the output into any Graphviz renderer to get a
+Figure-3/4-style picture.
+"""
+
+from __future__ import annotations
+
+from repro.model.schema import Schema
+
+__all__ = ["schema_to_dot"]
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("{", "\\{")
+        .replace("}", "\\}")
+        .replace("|", "\\|")
+        .replace("<", "\\<")
+        .replace(">", "\\>")
+    )
+
+
+def schema_to_dot(schema: Schema, graph_name: str = "schema") -> str:
+    """Render the schema as a Graphviz DOT digraph.
+
+    Relations become record nodes (``name | col1 | col2 …``) with
+    primary-key columns suffixed by ``(PK)``; each foreign key becomes
+    a labelled edge from the referencing to the referenced relation.
+    """
+    lines = [
+        f"digraph {graph_name} {{",
+        "    rankdir=LR;",
+        '    node [shape=record, fontsize=10, fontname="Helvetica"];',
+        '    edge [fontsize=9, fontname="Helvetica"];',
+    ]
+    for relation in schema:
+        pk = set(relation.primary_key or ())
+        cells = [f"<{_port(col)}> {_escape(col)}{' (PK)' if col in pk else ''}"
+                 for col in relation.columns]
+        label = f"{_escape(relation.name)} | " + " | ".join(cells)
+        lines.append(f'    "{relation.name}" [label="{{{label}}}"];')
+    for relation in schema:
+        for fk in relation.foreign_keys:
+            if fk.ref_relation not in schema:
+                continue
+            label = ",".join(fk.columns)
+            lines.append(
+                f'    "{relation.name}":{_port(fk.columns[0])} -> '
+                f'"{fk.ref_relation}":{_port(fk.ref_columns[0])} '
+                f'[label="{_escape(label)}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _port(column: str) -> str:
+    """A DOT-safe port identifier for a column name."""
+    return "p_" + "".join(ch if ch.isalnum() else "_" for ch in column)

@@ -1,0 +1,187 @@
+"""JSON serialization for FD sets, schemas, and normalization results.
+
+Profiling a large dataset once and reusing the FD set across many
+normalization experiments is the natural workflow (the paper's own
+evaluation does exactly that, via Metanome result files).  This module
+provides the stable on-disk format:
+
+* FD sets are stored by *attribute names*, so a saved FD set remains
+  valid for any instance with the same columns (order included),
+* schemas round-trip with primary keys and foreign keys,
+* a normalization result exports its decomposition log, statistics,
+  and timings for downstream analysis.
+
+Loaded FD sets plug straight back into the pipeline via
+:class:`~repro.discovery.precomputed.PrecomputedFDs`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.core.result import NormalizationResult
+from repro.model.attributes import mask_of_names, names_of
+from repro.model.fd import FDSet
+from repro.model.schema import ForeignKey, Relation, Schema
+
+__all__ = [
+    "fdset_from_json",
+    "fdset_to_json",
+    "load_fdset",
+    "result_to_json",
+    "save_fdset",
+    "schema_from_json",
+    "schema_to_json",
+]
+
+
+# ----------------------------------------------------------------------
+# FD sets
+# ----------------------------------------------------------------------
+def fdset_to_json(fds: FDSet, columns: Sequence[str]) -> dict:
+    """Serialize an FD set against its column list."""
+    if len(columns) != fds.num_attributes:
+        raise ValueError(
+            f"FD set covers {fds.num_attributes} attributes but "
+            f"{len(columns)} column names were given"
+        )
+    return {
+        "format": "repro/fdset",
+        "version": 1,
+        "columns": list(columns),
+        "fds": [
+            {
+                "lhs": list(names_of(lhs, columns)),
+                "rhs": list(names_of(rhs, columns)),
+            }
+            for lhs, rhs in sorted(fds.items())
+        ],
+    }
+
+
+def fdset_from_json(payload: dict) -> tuple[FDSet, tuple[str, ...]]:
+    """Deserialize; returns the FD set and the column tuple it is bound to."""
+    if payload.get("format") != "repro/fdset":
+        raise ValueError("not a repro FD-set document")
+    columns = tuple(payload["columns"])
+    fds = FDSet(len(columns))
+    for entry in payload["fds"]:
+        fds.add_masks(
+            mask_of_names(entry["lhs"], columns),
+            mask_of_names(entry["rhs"], columns),
+        )
+    return fds, columns
+
+
+def save_fdset(fds: FDSet, columns: Sequence[str], path: str | Path) -> None:
+    """Write an FD set to a JSON file."""
+    Path(path).write_text(
+        json.dumps(fdset_to_json(fds, columns), indent=2), encoding="utf-8"
+    )
+
+
+def load_fdset(path: str | Path) -> tuple[FDSet, tuple[str, ...]]:
+    """Read an FD set from a JSON file."""
+    return fdset_from_json(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+# ----------------------------------------------------------------------
+# Schemas
+# ----------------------------------------------------------------------
+def schema_to_json(schema: Schema) -> dict:
+    """Serialize relations with their key and foreign-key constraints."""
+    return {
+        "format": "repro/schema",
+        "version": 1,
+        "relations": [
+            {
+                "name": relation.name,
+                "columns": list(relation.columns),
+                "primary_key": (
+                    list(relation.primary_key)
+                    if relation.primary_key is not None
+                    else None
+                ),
+                "foreign_keys": [
+                    {
+                        "columns": list(fk.columns),
+                        "ref_relation": fk.ref_relation,
+                        "ref_columns": list(fk.ref_columns),
+                    }
+                    for fk in relation.foreign_keys
+                ],
+            }
+            for relation in schema
+        ],
+    }
+
+
+def schema_from_json(payload: dict) -> Schema:
+    """Deserialize a schema document."""
+    if payload.get("format") != "repro/schema":
+        raise ValueError("not a repro schema document")
+    relations = []
+    for entry in payload["relations"]:
+        relations.append(
+            Relation(
+                entry["name"],
+                tuple(entry["columns"]),
+                primary_key=(
+                    tuple(entry["primary_key"])
+                    if entry["primary_key"] is not None
+                    else None
+                ),
+                foreign_keys=[
+                    ForeignKey(
+                        tuple(fk["columns"]),
+                        fk["ref_relation"],
+                        tuple(fk["ref_columns"]),
+                    )
+                    for fk in entry["foreign_keys"]
+                ],
+            )
+        )
+    return Schema(relations)
+
+
+# ----------------------------------------------------------------------
+# Normalization results
+# ----------------------------------------------------------------------
+def result_to_json(result: NormalizationResult) -> dict:
+    """Export a run's schema, decomposition log, stats, and timings."""
+    return {
+        "format": "repro/normalization-result",
+        "version": 1,
+        "schema": schema_to_json(result.schema),
+        "steps": [
+            {
+                "parent": step.parent,
+                "r1": step.r1,
+                "r2": step.r2,
+                "lhs": list(step.lhs),
+                "rhs": list(step.rhs),
+                "chosen_rank": step.chosen_rank,
+                "num_candidates": step.num_candidates,
+                "score": step.score,
+            }
+            for step in result.steps
+        ],
+        "stats": [
+            {
+                "relation": stat.relation,
+                "num_attributes": stat.num_attributes,
+                "num_records": stat.num_records,
+                "num_fds": stat.num_fds,
+                "num_fd_keys": stat.num_fd_keys,
+                "avg_rhs_before_closure": stat.avg_rhs_before_closure,
+                "avg_rhs_after_closure": stat.avg_rhs_after_closure,
+            }
+            for stat in result.stats
+        ],
+        "timings": dict(result.timings),
+        "stopped_relations": list(result.stopped_relations),
+        "values_before": result.original_values,
+        "values_after": result.total_values,
+    }

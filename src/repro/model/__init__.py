@@ -1,0 +1,37 @@
+"""Relational data model: attribute sets, FDs, schemas, and instances.
+
+This package provides the substrate that every other component builds on:
+
+* :mod:`repro.model.attributes` — attribute sets encoded as integer
+  bitmasks plus the helpers to manipulate them,
+* :mod:`repro.model.fd` — functional dependencies and FD collections,
+* :mod:`repro.model.schema` — relations, keys, foreign keys, and schemas,
+* :mod:`repro.model.instance` — in-memory columnar relation instances.
+"""
+
+from repro.model.attributes import (
+    bits_of,
+    count_bits,
+    iter_bits,
+    mask_of,
+    mask_of_names,
+    names_of,
+)
+from repro.model.fd import FD, FDSet
+from repro.model.instance import RelationInstance
+from repro.model.schema import ForeignKey, Relation, Schema
+
+__all__ = [
+    "FD",
+    "FDSet",
+    "ForeignKey",
+    "Relation",
+    "RelationInstance",
+    "Schema",
+    "bits_of",
+    "count_bits",
+    "iter_bits",
+    "mask_of",
+    "mask_of_names",
+    "names_of",
+]

@@ -1,0 +1,146 @@
+"""Functional dependencies and FD collections.
+
+An :class:`FD` is the paper's aggregated notation ``X → Y``: a left-hand
+side ``lhs`` and a (possibly multi-attribute) right-hand side ``rhs``,
+both attribute bitmasks over the same relation.  Reflexivity is kept
+implicit, exactly as in Section 4 of the paper: LHS attributes are never
+stored on the RHS, so ``lhs & rhs == 0`` is an invariant.
+
+:class:`FDSet` aggregates FDs by LHS (``Postcode→City`` and
+``Postcode→Mayor`` become ``Postcode→City,Mayor``) and provides the
+minimality/completeness checks that the optimized closure algorithm
+(Algorithm 3, Lemma 1) relies on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.model.attributes import count_bits, iter_bits, names_of
+
+__all__ = ["FD", "FDSet"]
+
+
+@dataclass(frozen=True, slots=True)
+class FD:
+    """An aggregated functional dependency ``lhs → rhs`` over one relation.
+
+    ``lhs`` and ``rhs`` are attribute bitmasks and must be disjoint; the
+    reflexive part of the dependency (``lhs → lhs``) is implicit.
+    """
+
+    lhs: int
+    rhs: int
+
+    def __post_init__(self) -> None:
+        if self.lhs & self.rhs:
+            raise ValueError(
+                f"lhs and rhs overlap: lhs={self.lhs:b}, rhs={self.rhs:b}; "
+                "reflexive attributes must stay implicit"
+            )
+        if self.rhs == 0:
+            raise ValueError("rhs must not be empty")
+
+    @property
+    def attributes(self) -> int:
+        """All attributes the FD mentions: ``lhs | rhs``."""
+        return self.lhs | self.rhs
+
+    def decompose(self) -> Iterator["FD"]:
+        """Yield the single-RHS-attribute FDs aggregated into this one."""
+        for rhs_attr in iter_bits(self.rhs):
+            yield FD(self.lhs, 1 << rhs_attr)
+
+    def to_str(self, columns: Sequence[str]) -> str:
+        """Render the FD with attribute names, e.g. ``Postcode -> City,Mayor``."""
+        lhs_names = ",".join(names_of(self.lhs, columns)) or "{}"
+        rhs_names = ",".join(names_of(self.rhs, columns))
+        return f"{lhs_names} -> {rhs_names}"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        lhs_bits = ",".join(map(str, iter_bits(self.lhs))) or "{}"
+        rhs_bits = ",".join(map(str, iter_bits(self.rhs)))
+        return f"[{lhs_bits}] -> [{rhs_bits}]"
+
+
+class FDSet:
+    """A set of FDs over one relation, aggregated by left-hand side.
+
+    The container keeps one RHS mask per distinct LHS, which is both the
+    paper's aggregated notation and the representation the closure
+    algorithms mutate in place.
+    """
+
+    __slots__ = ("_by_lhs", "num_attributes")
+
+    def __init__(self, num_attributes: int, fds: Iterable[FD] = ()) -> None:
+        self.num_attributes = num_attributes
+        self._by_lhs: dict[int, int] = {}
+        for fd in fds:
+            self.add(fd)
+
+    def add(self, fd: FD) -> None:
+        """Add an FD, aggregating its RHS with any same-LHS FD present."""
+        self.add_masks(fd.lhs, fd.rhs)
+
+    def add_masks(self, lhs: int, rhs: int) -> None:
+        """Add ``lhs → rhs`` given as raw masks; LHS bits are stripped from RHS."""
+        rhs &= ~lhs
+        if not rhs:
+            return
+        self._by_lhs[lhs] = self._by_lhs.get(lhs, 0) | rhs
+
+    def rhs_of(self, lhs: int) -> int:
+        """Return the aggregated RHS mask for ``lhs`` (0 if absent)."""
+        return self._by_lhs.get(lhs, 0)
+
+    def __contains__(self, fd: FD) -> bool:
+        return self._by_lhs.get(fd.lhs, 0) & fd.rhs == fd.rhs
+
+    def __iter__(self) -> Iterator[FD]:
+        for lhs, rhs in self._by_lhs.items():
+            yield FD(lhs, rhs)
+
+    def __len__(self) -> int:
+        """Number of distinct left-hand sides (aggregated FDs)."""
+        return len(self._by_lhs)
+
+    def count_single_rhs(self) -> int:
+        """Number of non-aggregated FDs ``X → A`` (one per RHS attribute)."""
+        return sum(count_bits(rhs) for rhs in self._by_lhs.values())
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Iterate ``(lhs_mask, rhs_mask)`` pairs."""
+        return iter(self._by_lhs.items())
+
+    def copy(self) -> "FDSet":
+        clone = FDSet(self.num_attributes)
+        clone._by_lhs = dict(self._by_lhs)
+        return clone
+
+    def average_rhs_size(self) -> float:
+        """Average RHS width over aggregated FDs (paper §8.2 reports this)."""
+        if not self._by_lhs:
+            return 0.0
+        return sum(count_bits(rhs) for rhs in self._by_lhs.values()) / len(self._by_lhs)
+
+    def is_minimal(self) -> bool:
+        """Check pairwise LHS-minimality of the contained FDs.
+
+        An FD ``X → A`` is non-minimal if some ``X' ⊂ X`` with ``X' → A``
+        is also contained.  Complete discoverer output must pass this.
+        """
+        items = list(self._by_lhs.items())
+        for i, (lhs, rhs) in enumerate(items):
+            for j, (other_lhs, other_rhs) in enumerate(items):
+                if i == j:
+                    continue
+                if other_lhs & ~lhs == 0 and other_lhs != lhs and rhs & other_rhs:
+                    return False
+        return True
+
+    def to_strings(self, columns: Sequence[str]) -> list[str]:
+        """Render all FDs with attribute names, sorted for stable output."""
+        rendered = [FD(lhs, rhs).to_str(columns) for lhs, rhs in self._by_lhs.items()]
+        return sorted(rendered)

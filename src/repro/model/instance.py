@@ -1,0 +1,182 @@
+"""In-memory columnar relation instances.
+
+A :class:`RelationInstance` couples a :class:`~repro.model.schema.Relation`
+with its rows, stored column-major.  Column-major storage is what FD
+discovery wants (PLIs are built per column) and what the paper's scoring
+features want (max value length, distinct counts per attribute set).
+
+``None`` represents SQL NULL throughout.  For FD discovery we follow the
+Metanome convention ``NULL == NULL`` (configurable at the PLI layer);
+for normalization, Algorithm 4 refuses to promote a NULL-containing LHS
+to a key.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
+
+from repro.model.attributes import bits_of, full_mask, iter_bits
+from repro.model.schema import Relation
+
+__all__ = ["RelationInstance"]
+
+Row = tuple[Any, ...]
+
+
+class RelationInstance:
+    """A relation schema plus its data, stored column-major."""
+
+    __slots__ = ("relation", "columns_data")
+
+    def __init__(self, relation: Relation, columns_data: Sequence[list]) -> None:
+        if len(columns_data) != relation.arity:
+            raise ValueError(
+                f"relation {relation.name!r} has {relation.arity} columns but "
+                f"{len(columns_data)} data columns were given"
+            )
+        lengths = {len(column) for column in columns_data}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        self.relation = relation
+        self.columns_data: list[list] = [list(column) for column in columns_data]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, relation: Relation, rows: Iterable[Row]) -> "RelationInstance":
+        """Build an instance from row tuples."""
+        columns_data: list[list] = [[] for _ in range(relation.arity)]
+        for row in rows:
+            if len(row) != relation.arity:
+                raise ValueError(
+                    f"row width {len(row)} does not match arity {relation.arity}"
+                )
+            for index, value in enumerate(row):
+                columns_data[index].append(value)
+        return cls(relation, columns_data)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.relation.name
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.relation.columns
+
+    @property
+    def arity(self) -> int:
+        return self.relation.arity
+
+    @property
+    def num_rows(self) -> int:
+        if not self.columns_data:
+            return 0
+        return len(self.columns_data[0])
+
+    @property
+    def num_values(self) -> int:
+        """Total number of stored cells (the paper counts dataset size this way)."""
+        return self.num_rows * self.arity
+
+    def column(self, name_or_index: str | int) -> list:
+        """Return one data column by name or position."""
+        if isinstance(name_or_index, str):
+            name_or_index = self.relation.column_index(name_or_index)
+        return self.columns_data[name_or_index]
+
+    def row(self, index: int) -> Row:
+        return tuple(column[index] for column in self.columns_data)
+
+    def iter_rows(self) -> Iterator[Row]:
+        return zip(*self.columns_data) if self.columns_data else iter(())
+
+    # ------------------------------------------------------------------
+    # Projection and deduplication (the decomposition step needs both)
+    # ------------------------------------------------------------------
+    def project(
+        self, mask: int, name: str | None = None, dedup: bool = False
+    ) -> "RelationInstance":
+        """Project onto the attributes in ``mask``; optionally deduplicate rows.
+
+        Column order is preserved.  ``dedup=True`` produces the paper's
+        ``R2`` side of a decomposition (distinct ``X ∪ Y`` rows).
+        """
+        indices = bits_of(mask)
+        new_columns = tuple(self.columns[i] for i in indices)
+        new_relation = Relation(name or self.name, new_columns)
+        source = [self.columns_data[i] for i in indices]
+        if not dedup:
+            return RelationInstance(new_relation, [list(col) for col in source])
+        seen: set[Row] = set()
+        kept: list[Row] = []
+        for row in zip(*source) if source else ():
+            if row not in seen:
+                seen.add(row)
+                kept.append(row)
+        return RelationInstance.from_rows(new_relation, kept)
+
+    # ------------------------------------------------------------------
+    # Statistics used by the scoring features (paper §7)
+    # ------------------------------------------------------------------
+    def has_null_in(self, mask: int) -> bool:
+        """True iff any column in ``mask`` contains a NULL (None) value."""
+        return any(
+            any(value is None for value in self.columns_data[i])
+            for i in iter_bits(mask)
+        )
+
+    def max_value_length(self, mask: int) -> int:
+        """Longest value in the (concatenated) columns of ``mask``.
+
+        The paper's value score concatenates multi-attribute values; an
+        empty relation or mask yields 0.  NULL counts as the empty string.
+        """
+        indices = bits_of(mask)
+        if not indices or self.num_rows == 0:
+            return 0
+        longest = 0
+        columns = [self.columns_data[i] for i in indices]
+        for row in zip(*columns):
+            length = sum(len(str(value)) for value in row if value is not None)
+            if length > longest:
+                longest = length
+        return longest
+
+    def distinct_count(self, mask: int) -> int:
+        """Exact number of distinct value combinations in ``mask``."""
+        indices = bits_of(mask)
+        if not indices:
+            return 1 if self.num_rows else 0
+        columns = [self.columns_data[i] for i in indices]
+        return len(set(zip(*columns)))
+
+    def iter_projected_rows(self, mask: int) -> Iterator[Row]:
+        """Yield the value combinations of the ``mask`` columns, row by row."""
+        columns = [self.columns_data[i] for i in bits_of(mask)]
+        if not columns:
+            return iter(())
+        return zip(*columns)
+
+    def full_mask(self) -> int:
+        return full_mask(self.arity)
+
+    def rename(self, name: str) -> "RelationInstance":
+        """Return a shallow copy with a new relation name (same constraints)."""
+        relation = Relation(
+            name,
+            self.relation.columns,
+            primary_key=self.relation.primary_key,
+            foreign_keys=list(self.relation.foreign_keys),
+        )
+        return RelationInstance(relation, self.columns_data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RelationInstance({self.name!r}, {self.arity} cols, "
+            f"{self.num_rows} rows)"
+        )

@@ -1,0 +1,165 @@
+"""Schemas: relations, primary keys, and foreign keys.
+
+These classes describe the *logical* side of a dataset — names, column
+lists, and constraints — independent of any stored rows.  During
+normalization the schema is incrementally rewritten: relations are
+split, primary keys are assigned, and foreign keys are added, exactly
+as the paper's running example turns ``R(First, Last, Postcode, City,
+Mayor)`` into ``R1(First, Last, Postcode)`` and ``R2(Postcode, City,
+Mayor)`` with ``R1.Postcode → R2.Postcode``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.model.attributes import mask_of_names, names_of
+
+__all__ = ["ForeignKey", "Relation", "Schema"]
+
+
+@dataclass(frozen=True, slots=True)
+class ForeignKey:
+    """A foreign-key constraint: ``columns`` reference ``ref_relation.ref_columns``."""
+
+    columns: tuple[str, ...]
+    ref_relation: str
+    ref_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.ref_columns):
+            raise ValueError("foreign key and referenced key differ in width")
+        if not self.columns:
+            raise ValueError("foreign key must cover at least one column")
+
+    def to_str(self) -> str:
+        cols = ",".join(self.columns)
+        ref = ",".join(self.ref_columns)
+        return f"({cols}) -> {self.ref_relation}({ref})"
+
+
+@dataclass(slots=True)
+class Relation:
+    """A named relation schema: ordered columns plus optional constraints.
+
+    ``primary_key`` is a tuple of column names (or ``None`` when no key
+    has been assigned yet); ``foreign_keys`` lists outgoing references.
+    Column order matters — the paper's position scores exploit it.
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    primary_key: tuple[str, ...] | None = None
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"duplicate column names in relation {self.name!r}")
+        if self.primary_key is not None:
+            missing = set(self.primary_key) - set(self.columns)
+            if missing:
+                raise ValueError(f"primary key columns {missing} not in relation")
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def column_index(self, name: str) -> int:
+        """Return the position of column ``name`` (ValueError if absent)."""
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise ValueError(f"no column {name!r} in relation {self.name!r}") from None
+
+    def mask_of(self, names: Iterable[str]) -> int:
+        """Bitmask of the given column names within this relation."""
+        return mask_of_names(names, self.columns)
+
+    def names_of(self, mask: int) -> tuple[str, ...]:
+        """Column names for a bitmask within this relation."""
+        return names_of(mask, self.columns)
+
+    @property
+    def primary_key_mask(self) -> int:
+        """Bitmask of the primary key columns (0 if no primary key)."""
+        if self.primary_key is None:
+            return 0
+        return self.mask_of(self.primary_key)
+
+    def foreign_key_masks(self) -> list[int]:
+        """Bitmasks of each outgoing foreign key's local columns."""
+        return [self.mask_of(fk.columns) for fk in self.foreign_keys]
+
+    def to_str(self) -> str:
+        """Render like the paper: ``R1(First, Last, Postcode)`` with key marked."""
+        key = set(self.primary_key or ())
+        cols = ", ".join(f"*{c}*" if c in key else c for c in self.columns)
+        return f"{self.name}({cols})"
+
+
+class Schema:
+    """An ordered collection of relations with unique names."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        self._relations: dict[str, Relation] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: Relation) -> None:
+        if relation.name in self._relations:
+            raise ValueError(f"duplicate relation name {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def remove(self, name: str) -> None:
+        del self._relations[name]
+
+    def __getitem__(self, name: str) -> Relation:
+        return self._relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def unique_name(self, base: str) -> str:
+        """Return ``base`` or ``base_2``, ``base_3``, … — first unused name."""
+        if base not in self._relations:
+            return base
+        suffix = 2
+        while f"{base}_{suffix}" in self._relations:
+            suffix += 1
+        return f"{base}_{suffix}"
+
+    def referencing(self, name: str) -> list[tuple[Relation, ForeignKey]]:
+        """All (relation, foreign key) pairs that reference relation ``name``."""
+        hits = []
+        for relation in self._relations.values():
+            for fk in relation.foreign_keys:
+                if fk.ref_relation == name:
+                    hits.append((relation, fk))
+        return hits
+
+    def to_str(self) -> str:
+        """Multi-line, human-readable rendering of the whole schema."""
+        lines = []
+        for relation in self._relations.values():
+            lines.append(relation.to_str())
+            for fk in relation.foreign_keys:
+                lines.append(f"  FK {relation.name}.{fk.to_str()}")
+        return "\n".join(lines)
+
+
+def columns_subset(columns: Sequence[str], mask: int) -> tuple[str, ...]:
+    """Project a column tuple to the positions named by ``mask``."""
+    return names_of(mask, columns)

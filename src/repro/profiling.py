@@ -1,0 +1,163 @@
+"""A Metanome-style profiling facade.
+
+The paper implements Normalize inside the Metanome data-profiling
+framework, which "standardizes input parsing, result formatting, and
+performance measurement".  This module is the equivalent surface for
+this library: one call profiles a relation (or a set of relations) and
+returns every metadata kind the pipeline and its extensions consume —
+column statistics, minimal FDs, minimal UCCs, and cross-relation unary
+INDs — together with wall-clock timings and a printable report.
+
+Usage::
+
+    from repro.profiling import profile
+
+    report = profile(instance)
+    print(report.to_str())
+    report.fds            # FDSet
+    report.uccs           # list of key-candidate masks
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.discovery.base import FDAlgorithm, discover_fds
+from repro.discovery.ind import IND, discover_unary_inds
+from repro.discovery.ucc import discover_uccs
+from repro.evaluation.reporting import format_table
+from repro.model.fd import FDSet
+from repro.model.instance import RelationInstance
+
+__all__ = ["ColumnStats", "DataProfile", "profile", "profile_many"]
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnStats:
+    """Basic single-column statistics."""
+
+    name: str
+    distinct: int
+    nulls: int
+    min_length: int
+    max_length: int
+    is_unique: bool
+    is_constant: bool
+
+
+@dataclass(slots=True)
+class DataProfile:
+    """Everything profiled about one relation."""
+
+    relation: str
+    num_attributes: int
+    num_records: int
+    columns: list[ColumnStats]
+    fds: FDSet
+    uccs: list[int]
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def to_str(self) -> str:
+        lines = [
+            f"Profile of {self.relation!r}: {self.num_attributes} attributes, "
+            f"{self.num_records} records",
+            f"  minimal FDs: {self.fds.count_single_rhs()} "
+            f"({len(self.fds)} aggregated, avg |RHS| "
+            f"{self.fds.average_rhs_size():.1f})",
+            f"  minimal UCCs: {len(self.uccs)}",
+            "",
+        ]
+        rows = [
+            [
+                stat.name,
+                stat.distinct,
+                stat.nulls,
+                f"{stat.min_length}-{stat.max_length}",
+                "yes" if stat.is_unique else "",
+                "yes" if stat.is_constant else "",
+            ]
+            for stat in self.columns
+        ]
+        lines.append(
+            format_table(
+                ["column", "distinct", "nulls", "len", "unique", "constant"],
+                rows,
+            )
+        )
+        return "\n".join(lines)
+
+
+def _column_stats(instance: RelationInstance) -> list[ColumnStats]:
+    stats = []
+    for index, name in enumerate(instance.columns):
+        values = instance.columns_data[index]
+        non_null = [value for value in values if value is not None]
+        lengths = [len(str(value)) for value in non_null]
+        distinct = len(set(non_null))
+        stats.append(
+            ColumnStats(
+                name=name,
+                distinct=distinct,
+                nulls=len(values) - len(non_null),
+                min_length=min(lengths) if lengths else 0,
+                max_length=max(lengths) if lengths else 0,
+                is_unique=(
+                    distinct == len(values) and len(values) > 0
+                ),
+                is_constant=distinct <= 1,
+            )
+        )
+    return stats
+
+
+def profile(
+    instance: RelationInstance,
+    fd_algorithm: FDAlgorithm | str = "hyfd",
+    ucc_algorithm: str = "ducc",
+    null_equals_null: bool = True,
+) -> DataProfile:
+    """Profile one relation: column stats, minimal FDs, minimal UCCs."""
+    timings: dict[str, float] = {}
+
+    started = time.perf_counter()
+    columns = _column_stats(instance)
+    timings["column_stats"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    if isinstance(fd_algorithm, str):
+        fds = discover_fds(
+            instance, fd_algorithm, null_equals_null=null_equals_null
+        )
+    else:
+        fds = fd_algorithm.discover(instance)
+    timings["fd_discovery"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    uccs = discover_uccs(
+        instance, ucc_algorithm, null_equals_null=null_equals_null
+    )
+    timings["ucc_discovery"] = time.perf_counter() - started
+
+    return DataProfile(
+        relation=instance.name,
+        num_attributes=instance.arity,
+        num_records=instance.num_rows,
+        columns=columns,
+        fds=fds,
+        uccs=uccs,
+        timings=timings,
+    )
+
+
+def profile_many(
+    instances: dict[str, RelationInstance],
+    fd_algorithm: FDAlgorithm | str = "hyfd",
+) -> tuple[dict[str, DataProfile], list[IND]]:
+    """Profile several relations plus the unary INDs between them."""
+    profiles = {
+        name: profile(instance, fd_algorithm)
+        for name, instance in instances.items()
+    }
+    inds = discover_unary_inds(instances)
+    return profiles, inds

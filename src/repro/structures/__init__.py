@@ -1,0 +1,21 @@
+"""Core data structures: set-tries, FD trees, stripped partitions, Bloom filters.
+
+These are the performance-critical substrates the paper relies on:
+
+* :mod:`repro.structures.settrie` — the "prefix tree, aka trie" used by
+  the improved/optimized closure algorithms and the violation detector
+  for subset lookups over attribute sets,
+* :mod:`repro.structures.fdtree` — the FD prefix tree that HyFD uses as
+  its positive cover,
+* :mod:`repro.structures.partitions` — stripped partitions (position
+  list indexes) with intersection, the backbone of TANE/DFD/HyFD,
+* :mod:`repro.structures.bloom` — Bloom filters with cardinality
+  estimation for the duplication score (paper §7.2).
+"""
+
+from repro.structures.bloom import BloomFilter
+from repro.structures.fdtree import FDTree
+from repro.structures.partitions import PLICache, StrippedPartition
+from repro.structures.settrie import SetTrie
+
+__all__ = ["BloomFilter", "FDTree", "PLICache", "SetTrie", "StrippedPartition"]

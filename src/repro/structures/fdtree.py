@@ -1,0 +1,168 @@
+"""FD prefix tree — the positive-cover structure of HyFD.
+
+An :class:`FDTree` stores candidate FDs ``X → a`` along the sorted
+attribute path of ``X``; each node carries a bitmask ``fds`` of the RHS
+attributes for which the path is a (candidate) minimal LHS.  HyFD's
+induction phase repeatedly removes FDs violated by a discovered non-FD
+and inserts their minimal specializations; the validation phase walks
+the tree level by level.
+
+Each node also carries ``rhs_subtree``, an *over-approximation* of the
+RHS bits present in the subtree (never shrunk on removal).  It is used
+purely to prune traversals; every hit is re-checked against exact
+``fds`` masks, so staleness costs time, never correctness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.model.attributes import bits_of, mask_of
+
+__all__ = ["FDTree"]
+
+
+class _Node:
+    __slots__ = ("children", "fds", "rhs_subtree")
+
+    def __init__(self) -> None:
+        self.children: dict[int, _Node] = {}
+        self.fds = 0
+        self.rhs_subtree = 0
+
+
+class FDTree:
+    """Prefix tree over FD left-hand sides with per-node RHS bitmasks."""
+
+    __slots__ = ("num_attributes", "_root")
+
+    def __init__(self, num_attributes: int) -> None:
+        self.num_attributes = num_attributes
+        self._root = _Node()
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, lhs: int, rhs: int) -> None:
+        """Mark ``lhs → a`` for every attribute ``a`` in ``rhs``."""
+        if not rhs:
+            return
+        node = self._root
+        node.rhs_subtree |= rhs
+        for index in bits_of(lhs):
+            child = node.children.get(index)
+            if child is None:
+                child = _Node()
+                node.children[index] = child
+            node = child
+            node.rhs_subtree |= rhs
+        node.fds |= rhs
+
+    def remove(self, lhs: int, rhs: int) -> None:
+        """Unmark ``lhs → a`` for every ``a`` in ``rhs`` (nodes stay in place)."""
+        node: _Node | None = self._root
+        for index in bits_of(lhs):
+            node = node.children.get(index) if node else None
+            if node is None:
+                return
+        if node is not None:
+            node.fds &= ~rhs
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def contains_fd(self, lhs: int, rhs_attr: int) -> bool:
+        """Exact membership of ``lhs → rhs_attr`` (``rhs_attr`` is an index)."""
+        node: _Node | None = self._root
+        for index in bits_of(lhs):
+            node = node.children.get(index) if node else None
+            if node is None:
+                return False
+        return bool(node.fds >> rhs_attr & 1)
+
+    def contains_fd_or_generalization(self, lhs: int, rhs_attr: int) -> bool:
+        """True iff some stored ``X → rhs_attr`` has ``X ⊆ lhs``."""
+        return self._contains_generalization(self._root, lhs, rhs_attr)
+
+    def _contains_generalization(self, node: _Node, lhs: int, rhs_attr: int) -> bool:
+        if node.fds >> rhs_attr & 1:
+            return True
+        if not node.rhs_subtree >> rhs_attr & 1:
+            return False
+        for index, child in node.children.items():
+            if lhs >> index & 1:
+                if self._contains_generalization(child, lhs, rhs_attr):
+                    return True
+        return False
+
+    def collect_violated(self, agree_set: int) -> list[tuple[int, int]]:
+        """FDs violated by a record pair that agrees exactly on ``agree_set``.
+
+        A stored ``X → a`` is violated iff ``X ⊆ agree_set`` and
+        ``a ∉ agree_set``.  Returns ``(lhs, violated_rhs_mask)`` pairs.
+        """
+        disagree = ((1 << self.num_attributes) - 1) & ~agree_set
+        out: list[tuple[int, int]] = []
+        self._collect_violated(self._root, agree_set, disagree, (), out)
+        return out
+
+    def _collect_violated(
+        self,
+        node: _Node,
+        agree_set: int,
+        disagree: int,
+        prefix: tuple[int, ...],
+        out: list[tuple[int, int]],
+    ) -> None:
+        hit = node.fds & disagree
+        if hit:
+            out.append((mask_of(prefix), hit))
+        if not node.rhs_subtree & disagree:
+            return
+        for index, child in node.children.items():
+            if agree_set >> index & 1:
+                self._collect_violated(
+                    child, agree_set, disagree, prefix + (index,), out
+                )
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def iter_level(self, depth: int) -> Iterator[tuple[int, int]]:
+        """Yield ``(lhs, rhs_mask)`` for all FDs with ``|lhs| == depth``."""
+        yield from self._iter_level(self._root, depth, ())
+
+    def _iter_level(
+        self, node: _Node, depth: int, prefix: tuple[int, ...]
+    ) -> Iterator[tuple[int, int]]:
+        if len(prefix) == depth:
+            if node.fds:
+                yield (mask_of(prefix), node.fds)
+            return
+        for index, child in sorted(node.children.items()):
+            yield from self._iter_level(child, depth, prefix + (index,))
+
+    def iter_all(self) -> Iterator[tuple[int, int]]:
+        """Yield every stored ``(lhs, rhs_mask)`` pair."""
+        yield from self._iter_all(self._root, ())
+
+    def _iter_all(
+        self, node: _Node, prefix: tuple[int, ...]
+    ) -> Iterator[tuple[int, int]]:
+        if node.fds:
+            yield (mask_of(prefix), node.fds)
+        for index, child in sorted(node.children.items()):
+            yield from self._iter_all(child, prefix + (index,))
+
+    def depth(self) -> int:
+        """Length of the longest stored LHS."""
+        return self._depth(self._root)
+
+    def _depth(self, node: _Node) -> int:
+        if not node.children:
+            return 0
+        return 1 + max(self._depth(child) for child in node.children.values())
+
+    def count_fds(self) -> int:
+        """Total number of single-RHS FDs stored."""
+        return sum(rhs.bit_count() for _, rhs in self.iter_all())

@@ -1,0 +1,242 @@
+"""Stripped partitions (position list indexes) and their intersection.
+
+A *stripped partition* ``π(X)`` groups the row indices of a relation by
+equal values in the attribute set ``X`` and drops singleton clusters
+(they can never witness or violate an FD).  This is the classic TANE
+representation [Huhtala et al. 1999] that HyFD and DFD reuse:
+
+* ``X → A`` holds  iff  ``π(X)`` refines ``π(A)``  iff
+  ``error(π(X)) == error(π(X ∪ A))``,
+* ``X`` is a unique (key candidate) iff ``π(X)`` is empty.
+
+NULL handling is configurable: with ``null_equals_null=True`` (the
+Metanome/paper default) all NULLs land in one cluster; otherwise each
+NULL is its own singleton and is stripped away.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.model.attributes import bits_of
+from repro.model.instance import RelationInstance
+
+__all__ = ["PLICache", "StrippedPartition"]
+
+_NULL_SENTINEL = object()
+
+
+class StrippedPartition:
+    """A stripped partition: non-singleton clusters of row indices."""
+
+    __slots__ = ("clusters", "num_rows")
+
+    def __init__(self, clusters: Sequence[Sequence[int]], num_rows: int) -> None:
+        self.clusters: list[list[int]] = [list(c) for c in clusters if len(c) > 1]
+        self.num_rows = num_rows
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_column(
+        cls, values: Sequence[Any], null_equals_null: bool = True
+    ) -> "StrippedPartition":
+        """Build the single-attribute partition of a data column."""
+        groups: dict[Any, list[int]] = {}
+        null_group: list[int] = []
+        for row, value in enumerate(values):
+            if value is None:
+                if null_equals_null:
+                    null_group.append(row)
+                # else: singleton by definition, stripped immediately
+            else:
+                groups.setdefault(value, []).append(row)
+        clusters = [cluster for cluster in groups.values() if len(cluster) > 1]
+        if len(null_group) > 1:
+            clusters.append(null_group)
+        return cls(clusters, len(values))
+
+    @classmethod
+    def single_cluster(cls, num_rows: int) -> "StrippedPartition":
+        """The partition of the empty attribute set: all rows together."""
+        if num_rows <= 1:
+            return cls([], num_rows)
+        return cls([list(range(num_rows))], num_rows)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def num_non_singleton_rows(self) -> int:
+        return sum(len(cluster) for cluster in self.clusters)
+
+    @property
+    def error(self) -> int:
+        """TANE's e(X)·|r|: rows that would have to be removed for a key."""
+        return self.num_non_singleton_rows - self.num_clusters
+
+    @property
+    def is_unique(self) -> bool:
+        """True iff the attribute set is a unique column combination."""
+        return not self.clusters
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def as_probe(self) -> list[int]:
+        """Row → cluster id (-1 for stripped singleton rows)."""
+        probe = [-1] * self.num_rows
+        for cluster_id, cluster in enumerate(self.clusters):
+            for row in cluster:
+                probe[row] = cluster_id
+        return probe
+
+    def intersect(self, other: "StrippedPartition") -> "StrippedPartition":
+        """Product partition ``π(X) · π(Y) = π(X ∪ Y)`` via probe table.
+
+        This is the standard linear-time stripped-product algorithm.
+        """
+        if self.num_rows != other.num_rows:
+            raise ValueError("partitions cover different numbers of rows")
+        probe = other.as_probe()
+        new_clusters: list[list[int]] = []
+        for cluster in self.clusters:
+            sub: dict[int, list[int]] = {}
+            for row in cluster:
+                other_id = probe[row]
+                if other_id >= 0:
+                    sub.setdefault(other_id, []).append(row)
+            for rows in sub.values():
+                if len(rows) > 1:
+                    new_clusters.append(rows)
+        return StrippedPartition(new_clusters, self.num_rows)
+
+    def refines_column(self, probe: Sequence[int]) -> bool:
+        """True iff every cluster agrees on ``probe`` values (FD check).
+
+        ``probe`` maps row → value id for the RHS attribute, with distinct
+        non-negative ids per distinct value; NULL handling must already be
+        baked into the ids (same id for all NULLs under null==null).
+        """
+        for cluster in self.clusters:
+            first = probe[cluster[0]]
+            for row in cluster[1:]:
+                if probe[row] != first:
+                    return False
+        return True
+
+    def find_violating_pair(self, probe: Sequence[int]) -> tuple[int, int] | None:
+        """Return one row pair that agrees on X but differs on the probe."""
+        for cluster in self.clusters:
+            first_row = cluster[0]
+            first = probe[first_row]
+            for row in cluster[1:]:
+                if probe[row] != first:
+                    return (first_row, row)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StrippedPartition({self.num_clusters} clusters, "
+            f"{self.num_rows} rows, error={self.error})"
+        )
+
+
+def column_value_ids(
+    values: Sequence[Any], null_equals_null: bool = True
+) -> list[int]:
+    """Map a column to dense value ids (NULL semantics as configured).
+
+    With ``null_equals_null=False`` every NULL receives a fresh id, so no
+    two NULL rows ever "agree".
+    """
+    ids: dict[Any, int] = {}
+    out: list[int] = []
+    next_id = 0
+    for value in values:
+        key = _NULL_SENTINEL if value is None else value
+        if value is None and not null_equals_null:
+            out.append(next_id)
+            next_id += 1
+            continue
+        assigned = ids.get(key)
+        if assigned is None:
+            assigned = next_id
+            ids[key] = assigned
+            next_id += 1
+        out.append(assigned)
+    return out
+
+
+class PLICache:
+    """Builds and memoizes stripped partitions per attribute-set mask.
+
+    Single-attribute partitions are precomputed; multi-attribute
+    partitions are produced by intersecting, preferring already-cached
+    subsets to keep chains short.  The cache is unbounded — datasets in
+    this library are laptop-scale by design (see DESIGN.md §3).
+    """
+
+    __slots__ = ("instance", "null_equals_null", "_cache", "_probes")
+
+    def __init__(
+        self, instance: RelationInstance, null_equals_null: bool = True
+    ) -> None:
+        self.instance = instance
+        self.null_equals_null = null_equals_null
+        self._cache: dict[int, StrippedPartition] = {
+            0: StrippedPartition.single_cluster(instance.num_rows)
+        }
+        self._probes: dict[int, list[int]] = {}
+        for index in range(instance.arity):
+            column = instance.columns_data[index]
+            self._cache[1 << index] = StrippedPartition.from_column(
+                column, null_equals_null
+            )
+
+    def get(self, mask: int) -> StrippedPartition:
+        """Return (building if necessary) the partition for ``mask``."""
+        cached = self._cache.get(mask)
+        if cached is not None:
+            return cached
+        partition = self._build(mask)
+        self._cache[mask] = partition
+        return partition
+
+    def _build(self, mask: int) -> StrippedPartition:
+        # Greedy: start from the largest cached subset, then intersect in
+        # remaining single columns smallest-first (small partitions first
+        # keeps intermediate products small).
+        best_mask = 0
+        for cached_mask in self._cache:
+            if cached_mask and cached_mask & ~mask == 0:
+                if cached_mask.bit_count() > best_mask.bit_count():
+                    best_mask = cached_mask
+        partition = self._cache[best_mask]
+        remaining = [1 << i for i in bits_of(mask & ~best_mask)]
+        remaining.sort(key=lambda m: self._cache[m].num_non_singleton_rows)
+        accumulated = best_mask
+        for single in remaining:
+            partition = partition.intersect(self._cache[single])
+            accumulated |= single
+            self._cache[accumulated] = partition
+        return partition
+
+    def probe(self, attribute: int) -> list[int]:
+        """Row → value id for one attribute (cached)."""
+        cached = self._probes.get(attribute)
+        if cached is None:
+            cached = column_value_ids(
+                self.instance.columns_data[attribute], self.null_equals_null
+            )
+            self._probes[attribute] = cached
+        return cached
+
+    def cache_size(self) -> int:
+        return len(self._cache)

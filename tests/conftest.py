@@ -1,0 +1,28 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.io.datasets import address_example, denormalized_university
+
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture()
+def address():
+    """The paper's Table 1 running example."""
+    return address_example()
+
+
+@pytest.fixture()
+def university():
+    """The §5 professor/teaches/class join."""
+    return denormalized_university()

@@ -1,0 +1,94 @@
+"""Unit tests for the bitmask attribute-set helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.attributes import (
+    bits_of,
+    count_bits,
+    full_mask,
+    is_subset,
+    iter_bits,
+    lowest_bit_index,
+    mask_of,
+    mask_of_names,
+    names_of,
+)
+
+
+class TestMaskOf:
+    def test_empty(self):
+        assert mask_of([]) == 0
+
+    def test_single(self):
+        assert mask_of([3]) == 0b1000
+
+    def test_multiple(self):
+        assert mask_of([0, 2, 5]) == 0b100101
+
+    def test_duplicates_collapse(self):
+        assert mask_of([1, 1, 1]) == 0b10
+
+
+class TestMaskOfNames:
+    def test_resolves_names(self):
+        assert mask_of_names(["b", "d"], ("a", "b", "c", "d")) == 0b1010
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown attribute"):
+            mask_of_names(["x"], ("a", "b"))
+
+    def test_empty_names(self):
+        assert mask_of_names([], ("a",)) == 0
+
+
+class TestIteration:
+    def test_iter_bits_ascending(self):
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+
+    def test_bits_of_tuple(self):
+        assert bits_of(0b110) == (1, 2)
+
+    def test_iter_bits_empty(self):
+        assert list(iter_bits(0)) == []
+
+    def test_names_of(self):
+        assert names_of(0b101, ("x", "y", "z")) == ("x", "z")
+
+    @given(st.sets(st.integers(min_value=0, max_value=40)))
+    def test_roundtrip(self, indices):
+        assert set(iter_bits(mask_of(indices))) == indices
+
+
+class TestPredicates:
+    def test_count_bits(self):
+        assert count_bits(0b1011) == 3
+
+    def test_is_subset_true(self):
+        assert is_subset(0b101, 0b1101)
+
+    def test_is_subset_false(self):
+        assert not is_subset(0b11, 0b101)
+
+    def test_empty_is_subset_of_everything(self):
+        assert is_subset(0, 0b111)
+        assert is_subset(0, 0)
+
+    def test_full_mask(self):
+        assert full_mask(4) == 0b1111
+        assert full_mask(0) == 0
+
+    def test_lowest_bit_index(self):
+        assert lowest_bit_index(0b1100) == 2
+
+    def test_lowest_bit_index_empty_raises(self):
+        with pytest.raises(ValueError):
+            lowest_bit_index(0)
+
+    @given(
+        st.integers(min_value=0, max_value=2**20 - 1),
+        st.integers(min_value=0, max_value=2**20 - 1),
+    )
+    def test_is_subset_matches_set_semantics(self, a, b):
+        assert is_subset(a, b) == set(iter_bits(a)).issubset(set(iter_bits(b)))

@@ -1,0 +1,217 @@
+"""Tests for the synthetic dataset generators and the join machinery."""
+
+import pytest
+
+from repro.datagen.denormalize import JoinSpec, denormalize, equi_join
+from repro.datagen.musicbrainz import (
+    MUSICBRAINZ_GOLD,
+    denormalized_musicbrainz,
+    generate_musicbrainz,
+)
+from repro.datagen.profiles import (
+    amalgam_like,
+    flight_like,
+    horse_like,
+    plista_like,
+)
+from repro.datagen.tpch import TPCH_GOLD, denormalized_tpch, generate_tpch
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+from tests.helpers import fd_holds
+
+
+class TestEquiJoin:
+    def make_sides(self):
+        left = RelationInstance.from_rows(
+            Relation("l", ("id", "ref")), [(1, "a"), (2, "b"), (3, "a")]
+        )
+        right = RelationInstance.from_rows(
+            Relation("r", ("key", "val")), [("a", 10), ("b", 20)]
+        )
+        return left, right
+
+    def test_inner_join_semantics(self):
+        left, right = self.make_sides()
+        joined = equi_join(left, right, [("ref", "key")])
+        assert joined.columns == ("id", "ref", "val")
+        assert sorted(joined.iter_rows()) == [
+            (1, "a", 10),
+            (2, "b", 20),
+            (3, "a", 10),
+        ]
+
+    def test_unmatched_rows_dropped(self):
+        left = RelationInstance.from_rows(
+            Relation("l", ("ref",)), [("a",), ("zz",)]
+        )
+        right = RelationInstance.from_rows(
+            Relation("r", ("key", "v")), [("a", 1)]
+        )
+        joined = equi_join(left, right, [("ref", "key")])
+        assert joined.num_rows == 1
+
+    def test_mn_join_multiplies(self):
+        left = RelationInstance.from_rows(Relation("l", ("k",)), [("a",)])
+        right = RelationInstance.from_rows(
+            Relation("r", ("k2", "v")), [("a", 1), ("a", 2)]
+        )
+        joined = equi_join(left, right, [("k", "k2")])
+        assert joined.num_rows == 2
+
+    def test_name_collision_rejected(self):
+        left = RelationInstance.from_rows(Relation("l", ("k", "v")), [(1, 2)])
+        right = RelationInstance.from_rows(Relation("r", ("k2", "v")), [(1, 2)])
+        with pytest.raises(ValueError, match="collision"):
+            equi_join(left, right, [("k", "k2")])
+
+    def test_empty_on_rejected(self):
+        left, right = self.make_sides()
+        with pytest.raises(ValueError, match="at least one"):
+            equi_join(left, right, [])
+
+    def test_denormalize_max_rows_sampling(self):
+        left = RelationInstance.from_rows(
+            Relation("l", ("k",)), [("a",)] * 50
+        )
+        right = RelationInstance.from_rows(
+            Relation("r", ("k2", "v")), [("a", 1), ("a", 2)]
+        )
+        result = denormalize(
+            left, [JoinSpec(right, (("k", "k2"),))], max_rows=10
+        )
+        assert result.num_rows == 10
+
+
+class TestTpch:
+    def test_deterministic(self):
+        first = denormalized_tpch()
+        second = denormalized_tpch()
+        assert list(first.iter_rows()) == list(second.iter_rows())
+
+    def test_foreign_keys_resolve(self):
+        tables = generate_tpch()
+        nation_keys = set(tables["nation"].column("n_nationkey"))
+        for column in ("c_nationkey", "s_nationkey"):
+            table = "customer" if column.startswith("c_") else "supplier"
+            assert set(tables[table].column(column)) <= nation_keys
+
+    def test_universal_contains_gold_columns(self):
+        universal = denormalized_tpch()
+        columns = set(universal.columns)
+        for gold in TPCH_GOLD:
+            assert gold.columns <= columns
+
+    def test_snowflake_fds_hold_in_universal(self):
+        universal = denormalized_tpch()
+        rel = universal.relation
+        # each dimension key determines its attributes after the join
+        cases = [
+            (["l_partkey"], ["p_name", "p_brand", "p_type"]),
+            (["l_suppkey"], ["s_name", "s_nationkey"]),
+            (["l_orderkey"], ["o_custkey", "o_orderdate"]),
+            (["o_custkey"], ["c_name", "c_nationkey"]),
+            (["c_nationkey"], ["cn_name", "cn_regionkey"]),
+            (["cn_regionkey"], ["cr_name"]),
+            (["l_partkey", "l_suppkey"], ["ps_availqty", "ps_supplycost"]),
+        ]
+        for lhs_cols, rhs_cols in cases:
+            assert fd_holds(
+                universal, rel.mask_of(lhs_cols), rel.mask_of(rhs_cols)
+            ), f"{lhs_cols} -> {rhs_cols} must hold"
+
+    def test_shippriority_constant(self):
+        universal = denormalized_tpch()
+        assert len(set(universal.column("o_shippriority"))) == 1
+
+    def test_lineitem_key_unique(self):
+        universal = denormalized_tpch()
+        mask = universal.relation.mask_of(["l_orderkey", "l_linenumber"])
+        assert universal.distinct_count(mask) == universal.num_rows
+
+
+class TestMusicBrainz:
+    def test_eleven_tables(self):
+        assert len(generate_musicbrainz()) == 11
+
+    def test_deterministic(self):
+        first = denormalized_musicbrainz()
+        second = denormalized_musicbrainz()
+        assert list(first.iter_rows()) == list(second.iter_rows())
+
+    def test_universal_contains_gold_columns(self):
+        universal = denormalized_musicbrainz()
+        columns = set(universal.columns)
+        for gold in MUSICBRAINZ_GOLD:
+            assert gold.columns <= columns
+
+    def test_core_fds_hold(self):
+        universal = denormalized_musicbrainz()
+        rel = universal.relation
+        cases = [
+            (["track_id"], ["track_name", "track_medium", "track_credit"]),
+            (["track_medium"], ["medium_release", "medium_format"]),
+            (["medium_release"], ["release_title", "release_credit"]),
+            (["acn_artist"], ["artist_name", "artist_place"]),
+            (["artist_place"], ["place_name", "place_area"]),
+            (["rl_label"], ["label_name", "label_code", "label_area"]),
+        ]
+        for lhs_cols, rhs_cols in cases:
+            assert fd_holds(
+                universal, rel.mask_of(lhs_cols), rel.mask_of(rhs_cols)
+            ), f"{lhs_cols} -> {rhs_cols} must hold"
+
+    def test_join_is_not_snowflake(self):
+        """track_id alone is NOT a key of the joined result (m:n links)."""
+        universal = denormalized_musicbrainz()
+        mask = universal.relation.mask_of(["track_id"])
+        assert universal.distinct_count(mask) < universal.num_rows
+
+
+class TestProfiles:
+    @pytest.mark.parametrize(
+        "generator, expected_cols",
+        [
+            (horse_like, 16),
+            (plista_like, 18),
+            (amalgam_like, 18),
+            (flight_like, 20),
+        ],
+    )
+    def test_shapes(self, generator, expected_cols):
+        instance = generator()
+        assert instance.arity == expected_cols
+        assert instance.num_rows > 0
+
+    @pytest.mark.parametrize(
+        "generator", [horse_like, plista_like, amalgam_like, flight_like]
+    )
+    def test_deterministic(self, generator):
+        assert list(generator(seed=5).iter_rows()) == list(
+            generator(seed=5).iter_rows()
+        )
+
+    def test_plista_has_single_key_column(self):
+        instance = plista_like(num_rows=200)
+        ids = instance.column("event_id")
+        assert len(set(ids)) == len(ids)
+
+    def test_plista_has_constant_and_null_columns(self):
+        instance = plista_like(num_rows=100)
+        assert len(set(instance.column("recommendable"))) == 1
+        assert all(v is None for v in instance.column("flag_b"))
+
+    def test_horse_correlated_columns(self):
+        instance = horse_like(num_rows=200)
+        rel = instance.relation
+        assert fd_holds(
+            instance, rel.mask_of(["lesion_site"]), rel.mask_of(["lesion_type"])
+        )
+
+    def test_flight_route_determines_endpoints(self):
+        instance = flight_like(num_rows=300)
+        rel = instance.relation
+        assert fd_holds(
+            instance,
+            rel.mask_of(["route"]),
+            rel.mask_of(["origin", "dest", "origin_city", "distance"]),
+        )

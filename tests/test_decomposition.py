@@ -1,0 +1,159 @@
+"""Tests for schema decomposition and FD projection (paper §3.6, Lemma 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.closure import optimized_closure
+from repro.core.decomposition import decompose, project_fds
+from repro.core.key_derivation import derive_keys
+from repro.core.violations import find_violating_fds
+from repro.datagen.random_tables import random_instance
+from repro.discovery.bruteforce import BruteForceFD
+from repro.model.fd import FD, FDSet
+from repro.model.schema import ForeignKey
+from tests.helpers import canon_fds
+
+
+class TestBasics:
+    def test_paper_example_split(self, address):
+        extended = optimized_closure(BruteForceFD().discover(address))
+        postcode = address.relation.mask_of(["Postcode"])
+        city_mayor = address.relation.mask_of(["City", "Mayor"])
+        outcome = decompose(address, extended, FD(postcode, city_mayor), "r2")
+        assert outcome.r1.columns == ("First", "Last", "Postcode")
+        assert outcome.r2.columns == ("Postcode", "City", "Mayor")
+        assert outcome.r2.relation.primary_key == ("Postcode",)
+        assert outcome.r1.relation.foreign_keys == [
+            ForeignKey(("Postcode",), "r2", ("Postcode",))
+        ]
+        assert outcome.r2.num_rows == 3  # deduplicated
+        assert outcome.r1.num_rows == 6
+
+    def test_empty_lhs_rejected(self, address):
+        extended = optimized_closure(BruteForceFD().discover(address))
+        with pytest.raises(ValueError, match="empty LHS"):
+            decompose(address, extended, FD(0, 0b1), "r2")
+
+    def test_out_of_relation_fd_rejected(self, address):
+        extended = FDSet(address.arity)
+        with pytest.raises(ValueError, match="outside the relation"):
+            decompose(address, extended, FD(1 << 10, 0b1), "r2")
+
+    def test_parent_pk_and_fks_distributed(self, address):
+        address.relation.primary_key = ("First", "Last")
+        address.relation.foreign_keys.append(
+            ForeignKey(("City",), "cities", ("name",))
+        )
+        extended = optimized_closure(BruteForceFD().discover(address))
+        postcode = address.relation.mask_of(["Postcode"])
+        city_mayor = address.relation.mask_of(["City", "Mayor"])
+        outcome = decompose(address, extended, FD(postcode, city_mayor), "r2")
+        assert outcome.r1.relation.primary_key == ("First", "Last")
+        # the city FK overlaps the RHS and fits in R2 -> moves there
+        assert any(
+            fk.ref_relation == "cities"
+            for fk in outcome.r2.relation.foreign_keys
+        )
+        assert all(
+            fk.ref_relation != "cities"
+            for fk in outcome.r1.relation.foreign_keys
+        )
+
+
+class TestProjectFds:
+    def test_projection_renumbers(self):
+        # attributes 0,2,3 of a 4-attr relation; FD {2} -> {3}
+        fds = FDSet(4, [FD(0b0100, 0b1000)])
+        projected = project_fds(fds, 0b1101, 4)
+        # attr 2 -> position 1, attr 3 -> position 2
+        assert dict(projected.items()) == {0b010: 0b100}
+
+    def test_lhs_outside_part_dropped(self):
+        fds = FDSet(3, [FD(0b010, 0b100)])
+        projected = project_fds(fds, 0b101, 3)
+        assert len(projected) == 0
+
+    def test_rhs_clipped_to_part(self):
+        fds = FDSet(3, [FD(0b001, 0b110)])
+        projected = project_fds(fds, 0b011, 3)
+        assert dict(projected.items()) == {0b01: 0b10}
+
+
+class TestLemma3:
+    """Projected FDs are exactly the valid FDs of each part."""
+
+    @given(
+        st.integers(min_value=0, max_value=100_000),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=20)
+    def test_parts_fds_match_rediscovery(self, seed, cols, rows):
+        instance = random_instance(seed, cols, rows, domain_size=2)
+        extended = optimized_closure(BruteForceFD().discover(instance))
+        keys = derive_keys(extended, instance.full_mask())
+        violating = find_violating_fds(extended, keys)
+        if not violating:
+            return
+        outcome = decompose(instance, extended, violating[0], "r2")
+        for part, part_fds in (
+            (outcome.r1, outcome.r1_fds),
+            (outcome.r2, outcome.r2_fds),
+        ):
+            rediscovered = optimized_closure(BruteForceFD().discover(part))
+            # every projected (extended) FD must be valid in the part
+            got = canon_fds(part_fds)
+            truth = canon_fds(rediscovered)
+            # projected LHSs may be non-minimal within the part; compare
+            # by closure: each projected FD's closure must match the
+            # rediscovered closure of its LHS.
+            for lhs, rhs in part_fds.items():
+                from tests.helpers import semantic_closure_of_set
+
+                assert lhs | rhs == semantic_closure_of_set(part, lhs)
+            # and every minimal FD of the part must be present
+            for lhs, attr in truth:
+                assert (lhs, attr) in got
+
+    @given(
+        st.integers(min_value=0, max_value=100_000),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=20)
+    def test_losslessness(self, seed, cols, rows):
+        """R1 ⋈ R2 on the LHS reproduces R exactly (as a multiset)."""
+        instance = random_instance(seed, cols, rows, domain_size=2)
+        extended = optimized_closure(BruteForceFD().discover(instance))
+        keys = derive_keys(extended, instance.full_mask())
+        violating = find_violating_fds(extended, keys)
+        if not violating:
+            return
+        fd = violating[0]
+        outcome = decompose(instance, extended, fd, "r2")
+        lhs_names = instance.relation.names_of(fd.lhs)
+        r2_lookup = {}
+        for row_index in range(outcome.r2.num_rows):
+            key = tuple(
+                outcome.r2.column(name)[row_index] for name in lhs_names
+            )
+            r2_lookup[key] = outcome.r2.row(row_index)
+        rebuilt = []
+        r2_positions = {c: i for i, c in enumerate(outcome.r2.columns)}
+        r1_positions = {c: i for i, c in enumerate(outcome.r1.columns)}
+        for row_index in range(outcome.r1.num_rows):
+            key = tuple(
+                outcome.r1.column(name)[row_index] for name in lhs_names
+            )
+            match = r2_lookup[key]
+            r1_row = outcome.r1.row(row_index)
+            rebuilt.append(
+                tuple(
+                    r1_row[r1_positions[c]]
+                    if c in r1_positions
+                    else match[r2_positions[c]]
+                    for c in instance.columns
+                )
+            )
+        assert sorted(rebuilt) == sorted(instance.iter_rows())

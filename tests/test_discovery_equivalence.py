@@ -1,0 +1,131 @@
+"""Cross-algorithm equivalence: TANE, DFD, and HyFD against the oracle.
+
+These are the central correctness tests of the discovery layer: all
+four algorithms must produce the *identical* complete set of minimal
+FDs on arbitrary instances, under both NULL semantics and with LHS-size
+pruning.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.random_tables import random_instance
+from repro.discovery.bruteforce import BruteForceFD
+from repro.discovery.dfd import DFD
+from repro.discovery.hyfd import HyFD
+from repro.discovery.tane import Tane
+from repro.io.datasets import address_example, planets_example
+from tests.helpers import canon_fds
+
+ALGORITHMS = [Tane, DFD, HyFD]
+
+instance_params = st.tuples(
+    st.integers(min_value=0, max_value=1_000_000),  # seed
+    st.integers(min_value=1, max_value=6),  # columns
+    st.integers(min_value=0, max_value=22),  # rows
+    st.sampled_from([1, 2, 3, 5]),  # domain
+    st.sampled_from([0.0, 0.0, 0.3]),  # null rate
+)
+
+
+@pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+class TestEquivalence:
+    @given(params=instance_params)
+    @settings(max_examples=25)
+    def test_matches_oracle(self, algorithm_cls, params):
+        seed, cols, rows, domain, null_rate = params
+        instance = random_instance(seed, cols, rows, domain, null_rate)
+        expected = canon_fds(BruteForceFD().discover(instance))
+        got = canon_fds(algorithm_cls().discover(instance))
+        assert got == expected
+
+    @given(params=instance_params)
+    @settings(max_examples=15)
+    def test_matches_oracle_null_not_equal(self, algorithm_cls, params):
+        seed, cols, rows, domain, null_rate = params
+        instance = random_instance(seed, cols, rows, domain, null_rate)
+        expected = canon_fds(
+            BruteForceFD(null_equals_null=False).discover(instance)
+        )
+        got = canon_fds(
+            algorithm_cls(null_equals_null=False).discover(instance)
+        )
+        assert got == expected
+
+    @given(
+        params=instance_params,
+        max_lhs=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=15)
+    def test_max_lhs_pruning(self, algorithm_cls, params, max_lhs):
+        seed, cols, rows, domain, null_rate = params
+        instance = random_instance(seed, cols, rows, domain, null_rate)
+        expected = {
+            (lhs, attr)
+            for lhs, attr in canon_fds(BruteForceFD().discover(instance))
+            if lhs.bit_count() <= max_lhs
+        }
+        got = canon_fds(algorithm_cls(max_lhs_size=max_lhs).discover(instance))
+        assert got == expected
+
+    def test_address_example(self, algorithm_cls):
+        expected = canon_fds(BruteForceFD().discover(address_example()))
+        got = canon_fds(algorithm_cls().discover(address_example()))
+        assert got == expected
+        assert len(got) == 12
+
+    def test_planets_example_finds_atmosphere_rings(self, algorithm_cls):
+        planets = planets_example()
+        fds = algorithm_cls().discover(planets)
+        atmosphere = planets.relation.mask_of(["Atmosphere"])
+        rings = planets.relation.mask_of(["Rings"])
+        assert fds.rhs_of(atmosphere) & rings == rings
+
+    def test_zero_rows(self, algorithm_cls):
+        instance = random_instance(0, 4, 0)
+        got = canon_fds(algorithm_cls().discover(instance))
+        assert got == {(0, attr) for attr in range(4)}
+
+    def test_one_row(self, algorithm_cls):
+        instance = random_instance(0, 3, 1)
+        got = canon_fds(algorithm_cls().discover(instance))
+        assert got == {(0, attr) for attr in range(3)}
+
+    def test_result_is_minimal_fdset(self, algorithm_cls):
+        instance = random_instance(9, 5, 18, domain_size=2)
+        fds = algorithm_cls().discover(instance)
+        assert fds.is_minimal()
+
+
+class TestDiscoverFrontDoor:
+    def test_by_name(self):
+        from repro.discovery.base import discover_fds
+
+        instance = random_instance(1, 3, 10, domain_size=2)
+        expected = canon_fds(BruteForceFD().discover(instance))
+        for name in ("hyfd", "tane", "dfd", "bruteforce"):
+            assert canon_fds(discover_fds(instance, name)) == expected
+
+    def test_unknown_name_raises(self):
+        from repro.discovery.base import discover_fds
+
+        with pytest.raises(ValueError, match="unknown FD algorithm"):
+            discover_fds(random_instance(0, 2, 2), "nope")
+
+    def test_instance_passthrough(self):
+        from repro.discovery.base import discover_fds
+
+        instance = random_instance(2, 3, 8, domain_size=2)
+        algo = Tane()
+        assert canon_fds(discover_fds(instance, algo)) == canon_fds(
+            algo.discover(instance)
+        )
+
+    def test_invalid_max_lhs_rejected(self):
+        with pytest.raises(ValueError):
+            HyFD(max_lhs_size=-1)
+
+    def test_invalid_switch_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            HyFD(switch_threshold=1.5)

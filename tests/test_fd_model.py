@@ -1,0 +1,99 @@
+"""Unit tests for FD and FDSet."""
+
+import pytest
+
+from repro.model.fd import FD, FDSet
+
+
+class TestFD:
+    def test_disjoint_invariant(self):
+        with pytest.raises(ValueError, match="overlap"):
+            FD(0b11, 0b110)
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(ValueError, match="rhs"):
+            FD(0b1, 0)
+
+    def test_empty_lhs_allowed(self):
+        fd = FD(0, 0b1)
+        assert fd.lhs == 0
+
+    def test_attributes(self):
+        assert FD(0b1, 0b110).attributes == 0b111
+
+    def test_decompose(self):
+        parts = list(FD(0b1, 0b110).decompose())
+        assert parts == [FD(0b1, 0b010), FD(0b1, 0b100)]
+
+    def test_to_str(self):
+        fd = FD(0b100, 0b011)
+        assert fd.to_str(("City", "Mayor", "Postcode")) == "Postcode -> City,Mayor"
+
+    def test_to_str_empty_lhs(self):
+        assert FD(0, 0b1).to_str(("a", "b")) == "{} -> a"
+
+    def test_hashable(self):
+        assert len({FD(1, 2), FD(1, 2), FD(1, 4)}) == 2
+
+
+class TestFDSet:
+    def test_aggregates_same_lhs(self):
+        fds = FDSet(3, [FD(0b1, 0b10), FD(0b1, 0b100)])
+        assert len(fds) == 1
+        assert fds.rhs_of(0b1) == 0b110
+
+    def test_count_single_rhs(self):
+        fds = FDSet(3, [FD(0b1, 0b110), FD(0b10, 0b100)])
+        assert fds.count_single_rhs() == 3
+
+    def test_add_masks_strips_lhs_bits(self):
+        fds = FDSet(3)
+        fds.add_masks(0b1, 0b11)  # rhs overlaps lhs
+        assert fds.rhs_of(0b1) == 0b10
+
+    def test_add_masks_ignores_empty_effective_rhs(self):
+        fds = FDSet(2)
+        fds.add_masks(0b1, 0b1)
+        assert len(fds) == 0
+
+    def test_contains(self):
+        fds = FDSet(3, [FD(0b1, 0b110)])
+        assert FD(0b1, 0b100) in fds
+        assert FD(0b1, 0b110) in fds
+        assert FD(0b10, 0b100) not in fds
+
+    def test_iteration_yields_aggregated(self):
+        fds = FDSet(3, [FD(0b1, 0b10), FD(0b1, 0b100)])
+        assert list(fds) == [FD(0b1, 0b110)]
+
+    def test_copy_is_independent(self):
+        fds = FDSet(3, [FD(0b1, 0b10)])
+        clone = fds.copy()
+        clone.add_masks(0b1, 0b100)
+        assert fds.rhs_of(0b1) == 0b10
+
+    def test_average_rhs_size(self):
+        fds = FDSet(4, [FD(0b1, 0b110), FD(0b10, 0b100)])
+        assert fds.average_rhs_size() == pytest.approx(1.5)
+
+    def test_average_rhs_size_empty(self):
+        assert FDSet(3).average_rhs_size() == 0.0
+
+    def test_is_minimal_true(self):
+        fds = FDSet(3, [FD(0b1, 0b100), FD(0b10, 0b100)])
+        assert fds.is_minimal()
+
+    def test_is_minimal_detects_subsumption(self):
+        fds = FDSet(3, [FD(0b1, 0b100), FD(0b11, 0b100)])
+        assert not fds.is_minimal()
+
+    def test_is_minimal_different_rhs_ok(self):
+        # {A}->C and {A,C}->B do not violate LHS minimality.
+        fds = FDSet(3, [FD(0b1, 0b100), FD(0b101, 0b10)])
+        assert fds.is_minimal()
+
+    def test_to_strings_sorted(self):
+        fds = FDSet(3, [FD(0b100, 0b1), FD(0b1, 0b100)])
+        rendered = fds.to_strings(("a", "b", "c"))
+        assert rendered == sorted(rendered)
+        assert "a -> c" in rendered

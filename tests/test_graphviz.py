@@ -1,0 +1,55 @@
+"""Tests for the Graphviz DOT schema export."""
+
+from repro.core.normalize import normalize
+from repro.io.graphviz import schema_to_dot
+from repro.model.schema import ForeignKey, Relation, Schema
+
+
+def small_schema():
+    dim = Relation("dim", ("id", "name"), primary_key=("id",))
+    fact = Relation(
+        "fact",
+        ("fid", "id"),
+        primary_key=("fid",),
+        foreign_keys=[ForeignKey(("id",), "dim", ("id",))],
+    )
+    return Schema([fact, dim])
+
+
+class TestDotExport:
+    def test_nodes_and_edges_present(self):
+        dot = schema_to_dot(small_schema())
+        assert dot.startswith("digraph schema {")
+        assert '"dim"' in dot
+        assert '"fact"' in dot
+        assert '"fact":p_id -> "dim":p_id' in dot
+
+    def test_primary_key_marked(self):
+        dot = schema_to_dot(small_schema())
+        assert "id (PK)" in dot
+
+    def test_special_characters_escaped(self):
+        schema = Schema([Relation("r", ("a|b", 'c"d'))])
+        dot = schema_to_dot(schema)
+        assert "a\\|b" in dot
+        assert 'c\\"d' in dot
+
+    def test_dangling_fk_target_skipped(self):
+        fact = Relation(
+            "fact",
+            ("id",),
+            foreign_keys=[ForeignKey(("id",), "elsewhere", ("id",))],
+        )
+        dot = schema_to_dot(Schema([fact]))
+        assert "elsewhere" not in dot
+
+    def test_normalization_result_exports(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        dot = schema_to_dot(result.schema)
+        assert dot.count("->") >= 1  # the Postcode foreign key
+        assert "Postcode (PK)" in dot
+
+    def test_balanced_braces(self):
+        dot = schema_to_dot(small_schema())
+        assert dot.strip().endswith("}")
+        assert dot.count("{") == dot.count("}")

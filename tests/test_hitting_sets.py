@@ -1,0 +1,87 @@
+"""Unit and property tests for minimal hitting set enumeration."""
+
+import itertools
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.discovery.hitting_sets import minimal_hitting_sets
+from repro.model.attributes import full_mask
+
+
+def reference_minimal_hitting_sets(sets, universe):
+    """Exponential-but-obvious reference: scan all subsets by size."""
+    restricted = [s & universe for s in sets]
+    if any(s == 0 for s in restricted):
+        return []
+    if not restricted:
+        return [0]
+    width = universe.bit_length()
+    hitting = []
+    for subset in range(1 << width):
+        if subset & ~universe:
+            continue
+        if all(subset & s for s in restricted):
+            hitting.append(subset)
+    minimal = [
+        h for h in hitting
+        if not any(o != h and o & ~h == 0 for o in hitting)
+    ]
+    return sorted(minimal)
+
+
+class TestBasics:
+    def test_empty_collection(self):
+        assert minimal_hitting_sets([], 0b111) == [0]
+
+    def test_unhittable_set(self):
+        assert minimal_hitting_sets([0b1000], 0b111) == []
+
+    def test_single_set(self):
+        assert minimal_hitting_sets([0b101], 0b111) == [0b001, 0b100]
+
+    def test_two_disjoint_sets(self):
+        result = minimal_hitting_sets([0b001, 0b110], 0b111)
+        assert result == [0b011, 0b101]
+
+    def test_superset_inputs_collapse(self):
+        # {A} and {A,B}: hitting {A} suffices.
+        assert minimal_hitting_sets([0b01, 0b11], 0b11) == [0b01]
+
+    def test_universe_restriction(self):
+        # Attribute 0 is outside the universe.
+        assert minimal_hitting_sets([0b011], 0b110) == [0b010]
+
+    def test_classic_triangle(self):
+        sets = [0b011, 0b101, 0b110]
+        assert minimal_hitting_sets(sets, 0b111) == [0b011, 0b101, 0b110]
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**7 - 1), max_size=8),
+        st.integers(min_value=0, max_value=2**7 - 1),
+    )
+    def test_matches_reference(self, sets, universe):
+        got = minimal_hitting_sets(sets, universe)
+        expected = reference_minimal_hitting_sets(sets, universe)
+        assert sorted(got) == expected
+
+    @given(st.lists(st.integers(min_value=1, max_value=2**9 - 1), max_size=10))
+    def test_results_hit_everything_and_are_minimal(self, sets):
+        universe = full_mask(9)
+        results = minimal_hitting_sets(sets, universe)
+        for hs in results:
+            assert all(hs & s for s in sets)
+            # every attribute is critical
+            for attr in range(9):
+                bit = 1 << attr
+                if hs & bit:
+                    smaller = hs & ~bit
+                    assert not all(smaller & s for s in sets)
+
+    @given(st.lists(st.integers(min_value=1, max_value=2**8 - 1), max_size=8))
+    def test_results_are_an_antichain(self, sets):
+        results = minimal_hitting_sets(sets, full_mask(8))
+        for a, b in itertools.combinations(results, 2):
+            assert a & ~b and b & ~a

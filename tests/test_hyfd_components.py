@@ -1,0 +1,139 @@
+"""Component-level tests for HyFD's sampler, induction, and validation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.random_tables import random_instance
+from repro.discovery.bruteforce import distinct_agree_sets
+from repro.discovery.hyfd.induction import (
+    apply_agree_set,
+    build_positive_cover,
+    specialize,
+)
+from repro.discovery.hyfd.sampler import Sampler
+from repro.discovery.hyfd.validation import validate_tree
+from repro.structures.fdtree import FDTree
+from repro.structures.partitions import PLICache
+
+
+class TestSampler:
+    def test_negative_cover_only_contains_true_agree_sets(self):
+        instance = random_instance(3, 4, 20, domain_size=2)
+        cache = PLICache(instance)
+        sampler = Sampler(instance, cache)
+        sampler.initial_rounds()
+        truth = set(distinct_agree_sets(instance))
+        # duplicate-row pairs agree on everything; that full agree set
+        # refutes nothing and is excluded by distinct_agree_sets
+        full = instance.full_mask()
+        assert sampler.negative_cover - {full} <= truth
+
+    def test_exhaustion_on_tiny_input(self):
+        instance = random_instance(1, 2, 3, domain_size=1)
+        sampler = Sampler(instance, PLICache(instance))
+        rounds = 0
+        while not sampler.exhausted and rounds < 100:
+            sampler.next_round()
+            rounds += 1
+        assert sampler.exhausted
+
+    def test_compare_deduplicates(self):
+        instance = random_instance(2, 3, 6, domain_size=1)  # all rows equal
+        sampler = Sampler(instance, PLICache(instance))
+        # all-equal rows agree on everything -> full agree set is still
+        # recorded as evidence the first time, None afterwards
+        first = sampler.compare(0, 1)
+        second = sampler.compare(2, 3)
+        assert (first is None) or (second is None)
+
+    def test_comparisons_counted(self):
+        instance = random_instance(4, 3, 15, domain_size=2)
+        sampler = Sampler(instance, PLICache(instance))
+        sampler.initial_rounds()
+        assert sampler.comparisons > 0
+
+
+class TestInduction:
+    def test_initial_cover_is_most_general(self):
+        tree = build_positive_cover(3, [])
+        assert dict(tree.iter_all()) == {0: 0b111}
+
+    def test_agree_set_specializes(self):
+        # pair agrees exactly on {A}: refutes {} -> B and {} -> C.
+        tree = build_positive_cover(3, [0b001])
+        fds = dict(tree.iter_all())
+        # {} -> A survives; B and C candidates move to LHS {B}/{C} etc.
+        assert fds.get(0, 0) == 0b001
+        assert tree.contains_fd(0b010, 2)  # {B} -> C candidate
+        assert tree.contains_fd(0b100, 1)  # {C} -> B candidate
+
+    def test_specialize_respects_generalizations(self):
+        tree = FDTree(3)
+        tree.add(0b010, 0b100)  # {B} -> C
+        # specializing {} -> C with agree {A} must not add {B} -> C twice
+        specialize(tree, 0, 2, 0b001)
+        level2 = list(tree.iter_level(2))
+        assert level2 == []
+
+    def test_max_lhs_pruning_drops_large_candidates(self):
+        tree = FDTree(4)
+        tree.add(0b0011, 0b0100)
+        removed = apply_agree_set(tree, 0b1011, max_lhs_size=2)
+        assert removed == 1
+        # the only legal extension attribute is outside the agree set:
+        # none exists below the bound, so nothing may exceed LHS size 2.
+        for lhs, _ in tree.iter_all():
+            assert lhs.bit_count() <= 2
+
+    def test_antichain_invariant_random(self):
+        instance = random_instance(11, 5, 20, domain_size=2)
+        agree_sets = distinct_agree_sets(instance)
+        tree = build_positive_cover(5, agree_sets)
+        stored = list(tree.iter_all())
+        for lhs, rhs in stored:
+            for other_lhs, other_rhs in stored:
+                if other_lhs != lhs and other_lhs & ~lhs == 0:
+                    assert not (rhs & other_rhs), "generalization stored twice"
+
+
+class TestValidation:
+    @given(
+        st.integers(min_value=0, max_value=50_000),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=18),
+    )
+    @settings(max_examples=20)
+    def test_validation_from_empty_cover_equals_oracle(self, seed, cols, rows):
+        """Even with no sampling evidence, validation alone is exact."""
+        from repro.discovery.bruteforce import BruteForceFD
+        from tests.helpers import canon_fds
+
+        instance = random_instance(seed, cols, rows, domain_size=2)
+        cache = PLICache(instance)
+        tree = build_positive_cover(cols, [])
+        validate_tree(tree, cache, sampler=None)
+        got = {
+            (lhs, attr)
+            for lhs, rhs in tree.iter_all()
+            for attr in range(cols)
+            if rhs >> attr & 1
+        }
+        assert got == canon_fds(BruteForceFD().discover(instance))
+
+    def test_switch_threshold_zero_forces_sampling(self):
+        instance = random_instance(5, 4, 25, domain_size=2)
+        cache = PLICache(instance)
+        sampler = Sampler(instance, cache)
+        tree = build_positive_cover(4, [])
+        # threshold 0 switches on any failure until the sampler drains.
+        validate_tree(tree, cache, sampler=sampler, switch_threshold=0.0)
+        from repro.discovery.bruteforce import BruteForceFD
+        from tests.helpers import canon_fds
+
+        got = {
+            (lhs, attr)
+            for lhs, rhs in tree.iter_all()
+            for attr in range(4)
+            if rhs >> attr & 1
+        }
+        assert got == canon_fds(BruteForceFD().discover(instance))

@@ -1,0 +1,132 @@
+"""Tests for IND discovery and foreign-key verification."""
+
+import pytest
+
+from repro.core.normalize import normalize
+from repro.discovery.ind import (
+    discover_unary_inds,
+    ind_holds,
+    verify_foreign_keys,
+)
+from repro.model.instance import RelationInstance
+from repro.model.schema import ForeignKey, Relation
+
+
+def make(name, columns, rows, **kwargs):
+    return RelationInstance.from_rows(
+        Relation(name, tuple(columns), **kwargs), rows
+    )
+
+
+class TestIndHolds:
+    def test_inclusion(self):
+        orders = make("orders", ["cust"], [(1,), (2,), (1,)])
+        customers = make("customers", ["id"], [(1,), (2,), (3,)])
+        assert ind_holds(orders, ["cust"], customers, ["id"])
+        assert not ind_holds(customers, ["id"], orders, ["cust"])
+
+    def test_nulls_exempt(self):
+        orders = make("orders", ["cust"], [(1,), (None,)])
+        customers = make("customers", ["id"], [(1,)])
+        assert ind_holds(orders, ["cust"], customers, ["id"])
+
+    def test_composite(self):
+        link = make("link", ["a", "b"], [(1, "x"), (2, "y")])
+        target = make("t", ["a", "b"], [(1, "x"), (2, "y"), (3, "z")])
+        assert ind_holds(link, ["a", "b"], target, ["a", "b"])
+        bad = make("t2", ["a", "b"], [(1, "y"), (2, "x")])
+        assert not ind_holds(link, ["a", "b"], bad, ["a", "b"])
+
+    def test_width_mismatch(self):
+        left = make("l", ["a"], [(1,)])
+        with pytest.raises(ValueError, match="width"):
+            ind_holds(left, ["a"], left, ["a", "a"])
+
+    def test_empty_columns_rejected(self):
+        left = make("l", ["a"], [(1,)])
+        with pytest.raises(ValueError, match="at least one"):
+            ind_holds(left, [], left, [])
+
+
+class TestDiscoverUnaryInds:
+    def test_finds_fk_shaped_inds(self):
+        orders = make("orders", ["oid", "cust"], [(1, 10), (2, 11)])
+        customers = make("customers", ["id", "name"], [(10, "a"), (11, "b"), (12, "c")])
+        inds = discover_unary_inds({"orders": orders, "customers": customers})
+        rendered = {ind.to_str() for ind in inds}
+        assert "orders(cust) <= customers(id)" in rendered
+
+    def test_all_null_columns_skipped(self):
+        a = make("a", ["x"], [(None,), (None,)])
+        b = make("b", ["y"], [(1,)])
+        inds = discover_unary_inds({"a": a, "b": b})
+        assert all(ind.dependent_relation != "a" for ind in inds)
+
+    def test_self_inds_off_by_default(self):
+        t = make("t", ["x", "y"], [(1, 1)])
+        assert discover_unary_inds({"t": t}) == []
+        self_inds = discover_unary_inds({"t": t}, allow_self=True)
+        assert len(self_inds) == 2  # x <= y and y <= x
+
+    def test_normalized_schema_contains_fk_inds(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        inds = discover_unary_inds(result.instances)
+        fk_pairs = {
+            (name, fk.columns[0], fk.ref_relation, fk.ref_columns[0])
+            for name, instance in result.instances.items()
+            for fk in instance.relation.foreign_keys
+        }
+        found = {
+            (
+                ind.dependent_relation,
+                ind.dependent_columns[0],
+                ind.referenced_relation,
+                ind.referenced_columns[0],
+            )
+            for ind in inds
+        }
+        assert fk_pairs <= found
+
+
+class TestVerifyForeignKeys:
+    def test_normalization_output_passes(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        audits = verify_foreign_keys(result.instances)
+        assert audits  # at least the Postcode FK
+        assert all(audit.valid for audit in audits)
+
+    def test_dangling_value_detected(self):
+        target = make("dim", ["id"], [(1,)], primary_key=("id",))
+        source = make(
+            "fact",
+            ["id"],
+            [(1,), (2,)],
+            foreign_keys=[ForeignKey(("id",), "dim", ("id",))],
+        )
+        audits = verify_foreign_keys({"dim": target, "fact": source})
+        assert not audits[0].inclusion_holds
+        assert (2,) in audits[0].dangling_values
+        assert "BROKEN" in audits[0].to_str()
+
+    def test_non_unique_target_detected(self):
+        target = make("dim", ["id"], [(1,), (1,)])
+        source = make(
+            "fact",
+            ["id"],
+            [(1,)],
+            foreign_keys=[ForeignKey(("id",), "dim", ("id",))],
+        )
+        audits = verify_foreign_keys({"dim": target, "fact": source})
+        assert audits[0].inclusion_holds
+        assert not audits[0].referenced_unique
+        assert not audits[0].valid
+
+    def test_missing_target_relation(self):
+        source = make(
+            "fact",
+            ["id"],
+            [(1,)],
+            foreign_keys=[ForeignKey(("id",), "ghost", ("id",))],
+        )
+        audits = verify_foreign_keys({"fact": source})
+        assert not audits[0].valid

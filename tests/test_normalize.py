@@ -1,0 +1,224 @@
+"""End-to-end tests for the Normalize pipeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.closure import optimized_closure
+from repro.core.key_derivation import derive_keys
+from repro.core.normalize import Normalizer, normalize
+from repro.core.selection import ScriptedDecider
+from repro.core.violations import find_violating_fds
+from repro.datagen.random_tables import random_instance
+from repro.discovery.bruteforce import BruteForceFD
+from repro.model.instance import RelationInstance
+
+
+def assert_target_conform(instance: RelationInstance, target: str = "bcnf"):
+    """Re-discover FDs and assert no (decomposable) violations remain."""
+    extended = optimized_closure(BruteForceFD().discover(instance))
+    keys = derive_keys(extended, instance.full_mask())
+    null_mask = 0
+    for index in range(instance.arity):
+        if any(v is None for v in instance.columns_data[index]):
+            null_mask |= 1 << index
+    violating = find_violating_fds(
+        extended,
+        keys,
+        null_mask=null_mask,
+        primary_key=instance.relation.primary_key_mask,
+        foreign_keys=instance.relation.foreign_key_masks(),
+        target=target,
+    )
+    assert violating == [], [
+        v.to_str(instance.columns) for v in violating
+    ]
+
+
+class TestPaperExample:
+    def test_address_normalization(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        schemas = {
+            frozenset(instance.columns)
+            for instance in result.instances.values()
+        }
+        assert frozenset({"First", "Last", "Postcode"}) in schemas
+        assert frozenset({"Postcode", "City", "Mayor"}) in schemas
+
+    def test_address_value_reduction(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        assert result.original_values == 30
+        assert result.total_values == 27
+
+    def test_address_keys(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        keys = {
+            frozenset(instance.relation.primary_key or ())
+            for instance in result.instances.values()
+        }
+        assert frozenset({"First", "Last"}) in keys
+        assert frozenset({"Postcode"}) in keys
+
+    def test_address_foreign_key(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        fks = [
+            (fk.columns, fk.ref_relation)
+            for instance in result.instances.values()
+            for fk in instance.relation.foreign_keys
+        ]
+        assert len(fks) == 1
+        assert fks[0][0] == ("Postcode",)
+
+    def test_result_is_bcnf(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        for instance in result.instances.values():
+            assert_target_conform(instance)
+
+    def test_decomposition_log(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        assert len(result.steps) == 1
+        step = result.steps[0]
+        assert step.lhs == ("Postcode",)
+        assert set(step.rhs) == {"City", "Mayor"}
+        assert step.chosen_rank == 0
+
+    def test_reconstruct_is_lossless(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        rebuilt = result.reconstruct("address")
+        assert rebuilt.columns == address.columns
+        assert sorted(rebuilt.iter_rows()) == sorted(address.iter_rows())
+
+    def test_university_gets_full_key_via_ducc(self, university):
+        result = normalize(university, algorithm="bruteforce")
+        # the original relation keeps its name; its key must be the
+        # non-FD-derivable {name, label}
+        root = result.instances["university"]
+        assert frozenset(root.relation.primary_key or ()) == {"name", "label"}
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=0, max_value=100_000),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=16),
+        st.sampled_from([2, 3]),
+        st.sampled_from([0.0, 0.0, 0.25]),
+    )
+    @settings(max_examples=20)
+    def test_always_terminates_in_bcnf(self, seed, cols, rows, domain, nulls):
+        instance = random_instance(seed, cols, rows, domain, nulls)
+        result = normalize(instance, algorithm="bruteforce")
+        for out in result.instances.values():
+            assert_target_conform(out)
+
+    @given(
+        st.integers(min_value=0, max_value=100_000),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=16),
+    )
+    @settings(max_examples=20)
+    def test_always_lossless(self, seed, cols, rows):
+        instance = random_instance(seed, cols, rows, domain_size=2)
+        result = normalize(instance, algorithm="bruteforce")
+        rebuilt = result.reconstruct("random")
+        assert sorted(rebuilt.iter_rows()) == sorted(instance.iter_rows())
+
+    @given(
+        st.integers(min_value=0, max_value=50_000),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=2, max_value=14),
+    )
+    @settings(max_examples=15)
+    def test_3nf_mode_terminates_and_preserves_data(self, seed, cols, rows):
+        instance = random_instance(seed, cols, rows, domain_size=2)
+        result = normalize(instance, algorithm="bruteforce", target="3nf")
+        rebuilt = result.reconstruct("random")
+        assert sorted(rebuilt.iter_rows()) == sorted(instance.iter_rows())
+
+    @given(st.integers(min_value=0, max_value=20_000))
+    @settings(max_examples=10)
+    def test_deterministic(self, seed):
+        instance = random_instance(seed, 4, 12, domain_size=2)
+        first = normalize(instance, algorithm="bruteforce")
+        second = normalize(instance, algorithm="bruteforce")
+        assert {n: i.columns for n, i in first.instances.items()} == {
+            n: i.columns for n, i in second.instances.items()
+        }
+
+
+class TestDeciderIntegration:
+    def test_stop_decision_keeps_relation(self, address):
+        decider = ScriptedDecider(fd_choices=[None])
+        result = normalize(address, algorithm="bruteforce", decider=decider)
+        assert len(result.instances) == 1
+        assert result.stopped_relations == ["address"]
+
+    def test_scripted_alternative_choice(self, address):
+        # picking a lower-ranked violating FD still yields a valid result
+        decider = ScriptedDecider(fd_choices=[1])
+        result = normalize(address, algorithm="bruteforce", decider=decider)
+        rebuilt = result.reconstruct("address")
+        assert sorted(rebuilt.iter_rows()) == sorted(address.iter_rows())
+
+    def test_no_primary_key_choice(self, address):
+        decider = ScriptedDecider(key_choices=[None, None, None])
+        result = normalize(address, algorithm="bruteforce", decider=decider)
+        root = result.instances["address"]
+        assert root.relation.primary_key is None
+
+
+class TestInputs:
+    def test_multiple_relations(self, address, university):
+        result = normalize([address, university], algorithm="bruteforce")
+        assert len(result.stats) == 2
+        for out in result.instances.values():
+            assert_target_conform(out)
+
+    def test_duplicate_names_rejected(self, address):
+        with pytest.raises(ValueError, match="unique"):
+            normalize([address, address], algorithm="bruteforce")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="no input"):
+            normalize([], algorithm="bruteforce")
+
+    def test_input_relation_not_mutated(self, address):
+        normalize(address, algorithm="bruteforce")
+        assert address.relation.primary_key is None
+        assert address.relation.foreign_keys == []
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown FD algorithm"):
+            Normalizer(algorithm="alchemy")
+
+
+class TestStatsAndTimings:
+    def test_stats_populated(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        stat = result.stats[0]
+        assert stat.relation == "address"
+        assert stat.num_attributes == 5
+        assert stat.num_records == 6
+        assert stat.num_fds == 12
+        assert stat.num_fd_keys >= 1
+        assert stat.avg_rhs_after_closure >= stat.avg_rhs_before_closure
+
+    def test_timings_cover_components(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        for component in (
+            "fd_discovery",
+            "closure",
+            "key_derivation",
+            "violation_detection",
+            "selection",
+            "decomposition",
+            "primary_key_selection",
+        ):
+            assert component in result.timings
+            assert result.timings[component] >= 0.0
+
+    def test_to_str_summary(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        text = result.to_str()
+        assert "Decomposition log" in text
+        assert "values: 30 -> 27" in text

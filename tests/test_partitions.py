@@ -1,0 +1,161 @@
+"""Unit and property tests for stripped partitions and the PLI cache."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datagen.random_tables import random_instance
+from repro.model.attributes import iter_bits
+from repro.structures.partitions import (
+    PLICache,
+    StrippedPartition,
+    column_value_ids,
+)
+
+
+def partition_signature(partition: StrippedPartition) -> set[frozenset[int]]:
+    return {frozenset(cluster) for cluster in partition.clusters}
+
+
+def reference_partition(columns: list[list], null_equals_null=True) -> set[frozenset[int]]:
+    """Definition-level stripped partition of a column combination."""
+    groups: dict[tuple, list[int]] = {}
+    ids = [column_value_ids(col, null_equals_null) for col in columns]
+    for row in range(len(columns[0]) if columns else 0):
+        groups.setdefault(tuple(c[row] for c in ids), []).append(row)
+    return {frozenset(g) for g in groups.values() if len(g) > 1}
+
+
+class TestFromColumn:
+    def test_strips_singletons(self):
+        p = StrippedPartition.from_column(["a", "b", "a", "c"])
+        assert partition_signature(p) == {frozenset({0, 2})}
+
+    def test_null_equals_null_default(self):
+        p = StrippedPartition.from_column([None, None, "x"])
+        assert partition_signature(p) == {frozenset({0, 1})}
+
+    def test_null_not_equal(self):
+        p = StrippedPartition.from_column([None, None, "x"], null_equals_null=False)
+        assert partition_signature(p) == set()
+
+    def test_error(self):
+        p = StrippedPartition.from_column(["a", "a", "a", "b"])
+        assert p.error == 2  # cluster of 3 needs 2 removals
+
+    def test_is_unique(self):
+        assert StrippedPartition.from_column(["a", "b", "c"]).is_unique
+        assert not StrippedPartition.from_column(["a", "a"]).is_unique
+
+    def test_single_cluster(self):
+        p = StrippedPartition.single_cluster(4)
+        assert partition_signature(p) == {frozenset({0, 1, 2, 3})}
+        assert StrippedPartition.single_cluster(1).is_unique
+        assert StrippedPartition.single_cluster(0).is_unique
+
+
+class TestIntersect:
+    def test_mismatched_rows_rejected(self):
+        import pytest
+
+        left = StrippedPartition([[0, 1]], 2)
+        right = StrippedPartition([[0, 1]], 3)
+        with pytest.raises(ValueError):
+            left.intersect(right)
+
+    def test_simple_product(self):
+        a = StrippedPartition.from_column(["x", "x", "y", "y"])
+        b = StrippedPartition.from_column(["1", "2", "1", "1"])
+        combined = a.intersect(b)
+        assert partition_signature(combined) == {frozenset({2, 3})}
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_intersection_matches_definition(self, seed, cols, rows):
+        instance = random_instance(seed, max(cols, 2), rows, domain_size=2)
+        a = StrippedPartition.from_column(instance.columns_data[0])
+        b = StrippedPartition.from_column(instance.columns_data[1])
+        combined = a.intersect(b)
+        expected = reference_partition(
+            [instance.columns_data[0], instance.columns_data[1]]
+        )
+        assert partition_signature(combined) == expected
+
+
+class TestProbes:
+    def test_as_probe(self):
+        p = StrippedPartition.from_column(["a", "b", "a"])
+        probe = p.as_probe()
+        assert probe[0] == probe[2] >= 0
+        assert probe[1] == -1
+
+    def test_refines_column_true(self):
+        p = StrippedPartition.from_column(["a", "a", "b"])
+        # rows 0,1 agree on the probe
+        assert p.refines_column([7, 7, 9])
+
+    def test_refines_column_false(self):
+        p = StrippedPartition.from_column(["a", "a"])
+        assert not p.refines_column([1, 2])
+
+    def test_find_violating_pair(self):
+        p = StrippedPartition.from_column(["a", "a", "a"])
+        pair = p.find_violating_pair([1, 1, 2])
+        assert pair is not None
+        left, right = pair
+        assert {left, right} <= {0, 1, 2}
+
+    def test_find_violating_pair_none(self):
+        p = StrippedPartition.from_column(["a", "a"])
+        assert p.find_violating_pair([3, 3]) is None
+
+    def test_column_value_ids_null_semantics(self):
+        values = [None, None, "x"]
+        same = column_value_ids(values, null_equals_null=True)
+        assert same[0] == same[1]
+        distinct = column_value_ids(values, null_equals_null=False)
+        assert distinct[0] != distinct[1]
+
+
+class TestPLICache:
+    def test_single_attribute_cached_upfront(self):
+        instance = random_instance(1, 3, 10)
+        cache = PLICache(instance)
+        assert cache.cache_size() >= 4  # empty set + three singles
+
+    def test_get_builds_and_memoizes(self):
+        instance = random_instance(2, 3, 12)
+        cache = PLICache(instance)
+        first = cache.get(0b11)
+        second = cache.get(0b11)
+        assert first is second
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=18),
+        st.integers(min_value=0, max_value=2**5 - 1),
+    )
+    def test_cache_matches_definition(self, seed, cols, rows, mask):
+        instance = random_instance(seed, cols, rows, domain_size=2)
+        mask &= instance.full_mask()
+        cache = PLICache(instance)
+        got = partition_signature(cache.get(mask))
+        if mask == 0:
+            expected = (
+                {frozenset(range(rows))} if rows > 1 else set()
+            )
+        else:
+            expected = reference_partition(
+                [instance.columns_data[i] for i in iter_bits(mask)]
+            )
+        assert got == expected
+
+    def test_probe_matches_column_value_ids(self):
+        instance = random_instance(5, 2, 10, null_rate=0.3)
+        cache = PLICache(instance, null_equals_null=False)
+        assert cache.probe(0) == column_value_ids(
+            instance.columns_data[0], null_equals_null=False
+        )

@@ -1,0 +1,89 @@
+"""Tests for the Metanome-style profiling facade."""
+
+from repro.datagen.random_tables import random_instance
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+from repro.profiling import profile, profile_many
+
+
+class TestColumnStats:
+    def test_basic_stats(self):
+        instance = RelationInstance.from_rows(
+            Relation("t", ("id", "cat", "sparse")),
+            [(1, "a", None), (2, "a", "xx"), (3, "bb", None)],
+        )
+        report = profile(instance, fd_algorithm="bruteforce")
+        by_name = {stat.name: stat for stat in report.columns}
+        assert by_name["id"].is_unique
+        assert by_name["id"].distinct == 3
+        assert by_name["cat"].distinct == 2
+        assert by_name["cat"].min_length == 1
+        assert by_name["cat"].max_length == 2
+        assert by_name["sparse"].nulls == 2
+
+    def test_constant_detection(self):
+        instance = RelationInstance.from_rows(
+            Relation("t", ("c",)), [(5,), (5,)]
+        )
+        report = profile(instance, fd_algorithm="bruteforce")
+        assert report.columns[0].is_constant
+
+    def test_empty_relation(self):
+        instance = RelationInstance(Relation("t", ("a",)), [[]])
+        report = profile(instance, fd_algorithm="bruteforce")
+        assert report.num_records == 0
+        assert not report.columns[0].is_unique
+
+
+class TestProfile:
+    def test_profile_counts(self, address):
+        report = profile(address, fd_algorithm="bruteforce")
+        assert report.fds.count_single_rhs() == 12
+        first_last = address.relation.mask_of(["First", "Last"])
+        assert first_last in report.uccs
+
+    def test_timings_recorded(self, address):
+        report = profile(address, fd_algorithm="bruteforce")
+        assert set(report.timings) == {
+            "column_stats",
+            "fd_discovery",
+            "ucc_discovery",
+        }
+
+    def test_to_str(self, address):
+        text = profile(address, fd_algorithm="bruteforce").to_str()
+        assert "minimal FDs: 12" in text
+        assert "Postcode" in text
+
+    def test_algorithm_instance_accepted(self, address):
+        from repro.discovery.tane import Tane
+
+        report = profile(address, fd_algorithm=Tane())
+        assert report.fds.count_single_rhs() == 12
+
+
+class TestProfileMany:
+    def test_profiles_and_inds(self):
+        customers = RelationInstance.from_rows(
+            Relation("customers", ("id", "name")), [(1, "a"), (2, "b")]
+        )
+        orders = RelationInstance.from_rows(
+            Relation("orders", ("oid", "cust")), [(10, 1), (11, 2), (12, 1)]
+        )
+        profiles, inds = profile_many(
+            {"customers": customers, "orders": orders},
+            fd_algorithm="bruteforce",
+        )
+        assert set(profiles) == {"customers", "orders"}
+        rendered = {ind.to_str() for ind in inds}
+        assert "orders(cust) <= customers(id)" in rendered
+
+    def test_random_instances(self):
+        instances = {
+            f"t{i}": random_instance(i, 3, 8, domain_size=3, name=f"t{i}")
+            for i in range(3)
+        }
+        profiles, _ = profile_many(instances, fd_algorithm="bruteforce")
+        for name, report in profiles.items():
+            assert report.relation == name
+            assert report.num_attributes == 3

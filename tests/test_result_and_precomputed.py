@@ -1,0 +1,64 @@
+"""Tests for NormalizationResult details and the PrecomputedFDs adapter."""
+
+import pytest
+
+from repro.core.normalize import normalize
+from repro.discovery.bruteforce import BruteForceFD
+from repro.discovery.precomputed import PrecomputedFDs
+from repro.model.fd import FD, FDSet
+
+
+class TestDiscoveredFds:
+    def test_result_carries_discovered_fds(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        assert "address" in result.discovered_fds
+        fds = result.discovered_fds["address"]
+        assert fds.count_single_rhs() == 12
+
+    def test_discovered_fds_are_pre_closure(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        fds = result.discovered_fds["address"]
+        # the minimal (unextended) set; closure would aggregate further
+        assert fds.average_rhs_size() == result.stats[0].avg_rhs_before_closure
+
+    def test_discovered_fds_reusable(self, address):
+        first = normalize(address, algorithm="bruteforce")
+        second = normalize(
+            address, algorithm=PrecomputedFDs(first.discovered_fds)
+        )
+        assert {n: i.columns for n, i in first.instances.items()} == {
+            n: i.columns for n, i in second.instances.items()
+        }
+        assert second.timings["fd_discovery"] < 0.1
+
+
+class TestPrecomputedFDs:
+    def test_unknown_relation_rejected(self, address):
+        adapter = PrecomputedFDs({})
+        with pytest.raises(KeyError, match="no precomputed FDs"):
+            adapter.discover(address)
+
+    def test_arity_mismatch_rejected(self, address):
+        adapter = PrecomputedFDs({"address": FDSet(2, [FD(0b1, 0b10)])})
+        with pytest.raises(ValueError, match="attributes"):
+            adapter.discover(address)
+
+    def test_returns_copy(self, address):
+        fds = BruteForceFD().discover(address)
+        adapter = PrecomputedFDs({"address": fds})
+        served = adapter.discover(address)
+        served.add_masks(0b1, 0b10000)
+        assert dict(adapter.discover(address).items()) == dict(fds.items())
+
+
+class TestReconstructErrors:
+    def test_unknown_original_rejected(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        with pytest.raises(ValueError, match="unknown original"):
+            result.reconstruct("nope")
+
+    def test_multi_relation_reconstruct(self, address, university):
+        result = normalize([address, university], algorithm="bruteforce")
+        for name, original in (("address", address), ("university", university)):
+            rebuilt = result.reconstruct(name)
+            assert sorted(rebuilt.iter_rows()) == sorted(original.iter_rows())

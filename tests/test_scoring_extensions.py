@@ -1,0 +1,126 @@
+"""Tests for the extended scoring features and decider."""
+
+import pytest
+
+from repro.core.normalize import normalize
+from repro.core.scoring import DistinctEstimator, rank_violating_fds
+from repro.extensions.scoring_features import (
+    ExtendedScoringDecider,
+    cardinality_ratio_score,
+    coverage_score,
+    extended_scores,
+    name_score,
+)
+from repro.model.fd import FD
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+
+
+def make(columns, rows):
+    return RelationInstance.from_rows(Relation("t", tuple(columns)), rows)
+
+
+class TestNameScore:
+    def test_keyish_suffixes(self):
+        instance = make(["customer_id", "order_key", "name"], [(1, 2, 3)])
+        assert name_score(instance, 0b001) == 1.0
+        assert name_score(instance, 0b010) == 1.0
+        assert name_score(instance, 0b100) == 0.0
+        assert name_score(instance, 0b011) == 1.0
+        assert name_score(instance, 0b101) == 0.5
+
+    def test_case_insensitive(self):
+        instance = make(["CustomerID", "x"], [(1, 2)])
+        assert name_score(instance, 0b01) == 1.0
+
+    def test_empty_lhs(self):
+        instance = make(["a"], [(1,)])
+        assert name_score(instance, 0) == 0.0
+
+
+class TestCardinalityScore:
+    def test_low_cardinality_scores_high(self):
+        instance = make(["x"], [(1,)] * 9 + [(2,)])
+        assert cardinality_ratio_score(instance, 0b1) == pytest.approx(0.8)
+
+    def test_unique_scores_zero(self):
+        instance = make(["x"], [(i,) for i in range(10)])
+        assert cardinality_ratio_score(instance, 0b1) == 0.0
+
+    def test_empty_relation(self):
+        instance = RelationInstance(Relation("t", ("x",)), [[]])
+        assert cardinality_ratio_score(instance, 0b1) == 0.0
+
+
+class TestCoverageScore:
+    def test_exclusive_rhs(self):
+        from repro.core.scoring import ViolatingFDScore
+
+        a = ViolatingFDScore(FD(0b0001, 0b0110), 1, 1, 1, 1)
+        b = ViolatingFDScore(FD(0b1000, 0b0100), 1, 1, 1, 1)
+        # a's rhs {1,2}; b also covers {2} -> exclusive = {1} -> 0.5
+        assert coverage_score(a, [a, b]) == pytest.approx(0.5)
+        # b's rhs {2} fully shared -> 0.0
+        assert coverage_score(b, [a, b]) == pytest.approx(0.0)
+
+
+class TestExtendedRanking:
+    def test_name_feature_can_flip_ranking(self):
+        # two equally-shaped violating FDs; only the column names differ
+        instance = make(
+            ["plain", "dep1", "group_id", "dep2"],
+            [(1, "a", 1, "x"), (1, "a", 2, "y"), (2, "b", 1, "x"), (2, "b", 2, "y")],
+        )
+        fds = [FD(0b0001, 0b0010), FD(0b0100, 0b1000)]
+        base = rank_violating_fds(
+            instance, fds, DistinctEstimator(instance, exact=True)
+        )
+        enriched = extended_scores(instance, base, extras_weight=5.0)
+        assert enriched[0].base.fd.lhs == 0b0100  # group_id wins on name
+
+    def test_zero_weight_recovers_base_order(self):
+        instance = make(
+            ["a", "b", "c_id", "d"],
+            [(1, "x", 1, "y"), (2, "x", 2, "y")],
+        )
+        fds = [FD(0b0001, 0b0010), FD(0b0100, 0b1000)]
+        base = rank_violating_fds(
+            instance, fds, DistinctEstimator(instance, exact=True)
+        )
+        enriched = extended_scores(instance, base, extras_weight=0.0)
+        assert [e.base.fd for e in enriched] == [s.fd for s in base]
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ExtendedScoringDecider(extras_weight=-1)
+
+
+class TestExtendedDecider:
+    def test_pipeline_integration(self, address):
+        result = normalize(
+            address,
+            algorithm="bruteforce",
+            decider=ExtendedScoringDecider(),
+        )
+        # the address example has an unambiguous best split; the
+        # extended decider must still find it and finish in BCNF
+        column_sets = {
+            frozenset(i.columns) for i in result.instances.values()
+        }
+        assert frozenset({"Postcode", "City", "Mayor"}) in column_sets
+
+    def test_empty_rankings(self, address):
+        decider = ExtendedScoringDecider()
+        assert decider.choose_violating_fd(address, []) is None
+        assert decider.choose_primary_key(address, []) is None
+
+    def test_key_choice_prefers_keyish_names(self):
+        from repro.core.scoring import KeyScore
+
+        instance = make(["data", "row_id"], [(1, 2)])
+        ranking = [
+            KeyScore(0b01, 1.0, 1.0, 1.0),     # "data", slightly better base
+            KeyScore(0b10, 0.95, 1.0, 1.0),    # "row_id"
+        ]
+        decider = ExtendedScoringDecider(extras_weight=3.0)
+        assert decider.choose_primary_key(instance, ranking) == 1

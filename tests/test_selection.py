@@ -1,0 +1,113 @@
+"""Tests for the decision layer (auto / scripted / callback deciders)."""
+
+import pytest
+
+from repro.core.scoring import KeyScore, ViolatingFDScore
+from repro.core.selection import AutoDecider, CallbackDecider, ScriptedDecider
+from repro.model.fd import FD
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+
+
+@pytest.fixture()
+def instance():
+    return RelationInstance.from_rows(
+        Relation("t", ("a", "b", "c")), [(1, 2, 3)]
+    )
+
+
+def fd_ranking():
+    return [
+        ViolatingFDScore(FD(0b001, 0b010), 1.0, 1.0, 1.0, 1.0),
+        ViolatingFDScore(FD(0b010, 0b100), 0.5, 0.5, 0.5, 0.5),
+    ]
+
+
+def key_ranking():
+    return [KeyScore(0b001, 1.0, 1.0, 1.0), KeyScore(0b110, 0.5, 0.5, 0.5)]
+
+
+class TestAutoDecider:
+    def test_picks_top(self, instance):
+        decider = AutoDecider()
+        assert decider.choose_violating_fd(instance, fd_ranking()) == 0
+        assert decider.choose_primary_key(instance, key_ranking()) == 0
+
+    def test_empty_ranking_returns_none(self, instance):
+        decider = AutoDecider()
+        assert decider.choose_violating_fd(instance, []) is None
+        assert decider.choose_primary_key(instance, []) is None
+
+    def test_edit_rhs_keeps_everything(self, instance):
+        decider = AutoDecider()
+        chosen = fd_ranking()[0]
+        assert decider.edit_rhs(instance, chosen, shared_rhs=0b010) == 0b010
+
+
+class TestScriptedDecider:
+    def test_replays_choices(self, instance):
+        decider = ScriptedDecider(fd_choices=[1, None], key_choices=[1])
+        assert decider.choose_violating_fd(instance, fd_ranking()) == 1
+        assert decider.choose_violating_fd(instance, fd_ranking()) is None
+        assert decider.choose_primary_key(instance, key_ranking()) == 1
+
+    def test_falls_back_to_auto_when_exhausted(self, instance):
+        decider = ScriptedDecider(fd_choices=[1])
+        decider.choose_violating_fd(instance, fd_ranking())
+        assert decider.choose_violating_fd(instance, fd_ranking()) == 0
+
+    def test_out_of_range_choice_raises(self, instance):
+        decider = ScriptedDecider(fd_choices=[7])
+        with pytest.raises(IndexError):
+            decider.choose_violating_fd(instance, fd_ranking())
+
+    def test_out_of_range_key_choice_raises(self, instance):
+        decider = ScriptedDecider(key_choices=[9])
+        with pytest.raises(IndexError):
+            decider.choose_primary_key(instance, key_ranking())
+
+    def test_rhs_edit_by_name(self, instance):
+        decider = ScriptedDecider(
+            fd_choices=[0], rhs_edits={0: frozenset({"b"})}
+        )
+        chosen = fd_ranking()[0]  # rhs = {b}
+        decider.choose_violating_fd(instance, fd_ranking())
+        with pytest.raises(ValueError, match="every RHS attribute"):
+            decider.edit_rhs(instance, chosen, shared_rhs=0)
+
+    def test_rhs_edit_partial(self, instance):
+        decider = ScriptedDecider(
+            fd_choices=[0], rhs_edits={0: frozenset({"b"})}
+        )
+        chosen = ViolatingFDScore(FD(0b001, 0b110), 1, 1, 1, 1)
+        decider.choose_violating_fd(instance, fd_ranking())
+        assert decider.edit_rhs(instance, chosen, shared_rhs=0b010) == 0b100
+
+
+class TestCallbackDecider:
+    def test_callbacks_invoked(self, instance):
+        calls = []
+
+        def on_fd(inst, ranking):
+            calls.append("fd")
+            return 1
+
+        def on_key(inst, ranking):
+            calls.append("key")
+            return None
+
+        def on_edit(inst, chosen, shared):
+            calls.append("edit")
+            return chosen.fd.rhs
+
+        decider = CallbackDecider(on_fd, on_key, on_edit)
+        assert decider.choose_violating_fd(instance, fd_ranking()) == 1
+        assert decider.choose_primary_key(instance, key_ranking()) is None
+        assert decider.edit_rhs(instance, fd_ranking()[0], 0) == 0b010
+        assert calls == ["fd", "key", "edit"]
+
+    def test_missing_callbacks_act_automatic(self, instance):
+        decider = CallbackDecider()
+        assert decider.choose_violating_fd(instance, fd_ranking()) == 0
+        assert decider.choose_primary_key(instance, []) is None
+        assert decider.edit_rhs(instance, fd_ranking()[0], 0) == 0b010

@@ -1,0 +1,115 @@
+"""Tests for the JSON serialization layer."""
+
+import json
+
+import pytest
+
+from repro.core.normalize import normalize
+from repro.discovery.bruteforce import BruteForceFD
+from repro.discovery.precomputed import PrecomputedFDs
+from repro.io.serialization import (
+    fdset_from_json,
+    fdset_to_json,
+    load_fdset,
+    result_to_json,
+    save_fdset,
+    schema_from_json,
+    schema_to_json,
+)
+from repro.model.fd import FD, FDSet
+from repro.model.schema import ForeignKey, Relation, Schema
+
+
+class TestFdsetRoundTrip:
+    def test_roundtrip(self, address):
+        fds = BruteForceFD().discover(address)
+        payload = fdset_to_json(fds, address.columns)
+        restored, columns = fdset_from_json(payload)
+        assert columns == address.columns
+        assert dict(restored.items()) == dict(fds.items())
+
+    def test_json_serializable(self, address):
+        fds = BruteForceFD().discover(address)
+        text = json.dumps(fdset_to_json(fds, address.columns))
+        restored, _ = fdset_from_json(json.loads(text))
+        assert dict(restored.items()) == dict(fds.items())
+
+    def test_file_roundtrip(self, address, tmp_path):
+        fds = BruteForceFD().discover(address)
+        path = tmp_path / "fds.json"
+        save_fdset(fds, address.columns, path)
+        restored, columns = load_fdset(path)
+        assert columns == address.columns
+        assert dict(restored.items()) == dict(fds.items())
+
+    def test_column_count_mismatch_rejected(self):
+        fds = FDSet(3, [FD(0b1, 0b10)])
+        with pytest.raises(ValueError, match="column names"):
+            fdset_to_json(fds, ("a", "b"))
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="FD-set"):
+            fdset_from_json({"format": "something-else"})
+
+    def test_loaded_fds_drive_the_pipeline(self, address, tmp_path):
+        """Profile once, save, reload, normalize — the paper's workflow."""
+        fds = BruteForceFD().discover(address)
+        path = tmp_path / "fds.json"
+        save_fdset(fds, address.columns, path)
+        restored, _ = load_fdset(path)
+        result = normalize(
+            address, algorithm=PrecomputedFDs({"address": restored})
+        )
+        assert result.total_values == 27
+
+
+class TestSchemaRoundTrip:
+    def make_schema(self):
+        return Schema(
+            [
+                Relation("dim", ("id", "name"), primary_key=("id",)),
+                Relation(
+                    "fact",
+                    ("fid", "id"),
+                    primary_key=("fid",),
+                    foreign_keys=[ForeignKey(("id",), "dim", ("id",))],
+                ),
+                Relation("keyless", ("x",)),
+            ]
+        )
+
+    def test_roundtrip(self):
+        schema = self.make_schema()
+        restored = schema_from_json(schema_to_json(schema))
+        assert restored.to_str() == schema.to_str()
+
+    def test_none_primary_key_preserved(self):
+        restored = schema_from_json(schema_to_json(self.make_schema()))
+        assert restored["keyless"].primary_key is None
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            schema_from_json({"format": "nope"})
+
+
+class TestResultExport:
+    def test_export_fields(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        payload = result_to_json(result)
+        assert payload["values_before"] == 30
+        assert payload["values_after"] == 27
+        assert len(payload["steps"]) == 1
+        assert payload["steps"][0]["lhs"] == ["Postcode"]
+        assert payload["stats"][0]["num_fds"] == 12
+        assert "fd_discovery" in payload["timings"]
+
+    def test_export_is_json_serializable(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        text = json.dumps(result_to_json(result))
+        assert "Postcode" in text
+
+    def test_schema_restores_from_export(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        payload = result_to_json(result)
+        schema = schema_from_json(payload["schema"])
+        assert set(schema.relation_names) == set(result.instances)

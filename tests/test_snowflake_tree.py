@@ -1,0 +1,80 @@
+"""Tests for the Figure-3-style foreign-key tree rendering."""
+
+from repro.core.normalize import normalize
+from repro.evaluation.snowflake import schema_tree
+from repro.model.schema import ForeignKey, Relation, Schema
+
+
+def snowflake():
+    return Schema(
+        [
+            Relation(
+                "fact",
+                ("a", "b", "c"),
+                primary_key=("a",),
+                foreign_keys=[
+                    ForeignKey(("b",), "dim1", ("b",)),
+                    ForeignKey(("c",), "dim2", ("c",)),
+                ],
+            ),
+            Relation(
+                "dim1",
+                ("b", "x"),
+                primary_key=("b",),
+                foreign_keys=[ForeignKey(("x",), "sub", ("x",))],
+            ),
+            Relation(
+                "dim2",
+                ("c", "x2"),
+                primary_key=("c",),
+                foreign_keys=[ForeignKey(("x2",), "sub", ("x",))],
+            ),
+            Relation("sub", ("x", "y"), primary_key=("x",)),
+        ]
+    )
+
+
+class TestSchemaTree:
+    def test_root_first(self):
+        tree = schema_tree(snowflake())
+        lines = tree.splitlines()
+        assert lines[0].startswith("fact(")
+
+    def test_children_indented(self):
+        tree = schema_tree(snowflake())
+        assert "|-- dim1(" in tree
+        assert "`-- dim2(" in tree
+
+    def test_shared_dimension_marked(self):
+        tree = schema_tree(snowflake())
+        assert tree.count("sub(") == 2
+        assert tree.count("(see above)") == 1
+
+    def test_every_relation_appears(self):
+        tree = schema_tree(snowflake())
+        for name in ("fact", "dim1", "dim2", "sub"):
+            assert f"{name}(" in tree
+
+    def test_isolated_relation_rendered(self):
+        schema = Schema([Relation("lonely", ("a",))])
+        assert "lonely(" in schema_tree(schema)
+
+    def test_cycle_terminates(self):
+        schema = Schema(
+            [
+                Relation(
+                    "a", ("x",), foreign_keys=[ForeignKey(("x",), "b", ("x",))]
+                ),
+                Relation(
+                    "b", ("x",), foreign_keys=[ForeignKey(("x",), "a", ("x",))]
+                ),
+            ]
+        )
+        tree = schema_tree(schema)
+        assert "a(" in tree and "b(" in tree
+
+    def test_address_result(self, address):
+        result = normalize(address, algorithm="bruteforce")
+        tree = schema_tree(result.schema)
+        assert tree.splitlines()[0].startswith("address(")
+        assert "`-- address_Postcode(" in tree

@@ -1,0 +1,17 @@
+# Convenience targets mirroring the CI workflow (.github/workflows/ci.yml).
+
+PYTHON ?= python
+
+.PHONY: verify bench bench-engine
+
+# Tier-1 suite — the gate every change must keep green (see ROADMAP.md).
+verify:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Full paper-reproduction benchmark harness (writes benchmarks/results/).
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Partition-engine micro-benchmarks only (the PLI hot path).
+bench-engine:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_partition_engine.py --benchmark-only -q

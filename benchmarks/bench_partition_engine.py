@@ -1,0 +1,133 @@
+"""Micro-benchmarks for the columnar partition engine (PR: PLI hot path).
+
+Three hot-path primitives, each with the workload shape that dominates
+real discovery runs:
+
+* ``StrippedPartition.intersect`` — the stripped product on dense
+  low-cardinality columns (every row in a non-singleton cluster),
+* multi-RHS validation — one LHS node with a 10-attribute RHS fan-out
+  whose FDs all *hold*, forcing full partition sweeps (the expensive
+  case HyFD hits on every valid candidate); measured once through the
+  single-pass ``find_violations`` and once through the historical
+  per-attribute ``find_violating_pair`` loop for comparison,
+* ``PLICache`` miss storm on a wide (24-attribute) table — 300 random
+  attribute-set probes, the popcount-index satellite's workload.
+
+The table is persisted to ``benchmarks/results/partition_engine.txt``;
+``benchmarks/results/PR1_perf_comparison.txt`` records the seed
+baseline of the same workloads.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from _util import emit
+from repro.datagen.random_tables import random_instance
+from repro.evaluation.reporting import format_table
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+from repro.structures.partitions import PLICache, StrippedPartition
+
+_ROWS: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _engine_report(request):
+    yield
+    if not _ROWS:
+        return
+    rows = [[name, f"{seconds * 1e3:.2f}"] for name, seconds in _ROWS.items()]
+    emit(
+        format_table(
+            ["operation", "time (ms)"],
+            rows,
+            title="Partition engine micro-benchmarks",
+        ),
+        request,
+        filename="partition_engine",
+    )
+
+
+@pytest.fixture(scope="module")
+def dense_partitions():
+    instance = random_instance(7, 4, 50_000, domain_size=40)
+    return (
+        StrippedPartition.from_column(instance.columns_data[0]),
+        StrippedPartition.from_column(instance.columns_data[1]),
+    )
+
+
+@pytest.fixture(scope="module")
+def valid_fd_fixture():
+    """12 columns, 20k rows: 10 RHS columns all functions of the LHS pair."""
+    rng = random.Random(5)
+    n = 20_000
+    lhs_a = [rng.randrange(40) for _ in range(n)]
+    lhs_b = [rng.randrange(40) for _ in range(n)]
+    columns = [lhs_a, lhs_b]
+    for k in range(10):
+        columns.append([(a * 41 + b + k) % 97 for a, b in zip(lhs_a, lhs_b)])
+    instance = RelationInstance(
+        Relation("valid", tuple(f"c{i}" for i in range(12))),
+        [[str(v) for v in column] for column in columns],
+    )
+    cache = PLICache(instance)
+    partition = cache.get(0b11)
+    attrs = list(range(2, 12))
+    probes = [cache.probe(a) for a in attrs]
+    return partition, attrs, probes
+
+
+def test_intersect_dense(benchmark, dense_partitions):
+    left, right = dense_partitions
+    result = benchmark.pedantic(
+        left.intersect, args=(right,), rounds=5, iterations=3
+    )
+    assert result.num_rows == 50_000
+    _ROWS["intersect (50k rows, dense)"] = benchmark.stats.stats.min
+
+
+def test_multi_rhs_single_pass(benchmark, valid_fd_fixture):
+    partition, attrs, probes = valid_fd_fixture
+    violations = benchmark.pedantic(
+        partition.find_violations, args=(attrs, probes), rounds=5, iterations=3
+    )
+    assert violations == {}  # all 10 FDs hold: full sweeps were forced
+    _ROWS["validate 10 RHS (single-pass)"] = benchmark.stats.stats.min
+
+
+def test_multi_rhs_per_attribute_loop(benchmark, valid_fd_fixture):
+    """The historical shape: one full partition scan per RHS attribute."""
+    partition, attrs, probes = valid_fd_fixture
+
+    def per_attribute():
+        out = {}
+        for attr, probe in zip(attrs, probes):
+            pair = partition.find_violating_pair(probe)
+            if pair is not None:
+                out[attr] = pair
+        return out
+
+    violations = benchmark.pedantic(per_attribute, rounds=5, iterations=3)
+    assert violations == {}
+    _ROWS["validate 10 RHS (per-RHS loop)"] = benchmark.stats.stats.min
+
+
+def test_plicache_wide_table_storm(benchmark):
+    """300 random multi-attribute probes against a 24-attribute table."""
+    instance = random_instance(3, 24, 2_000, domain_size=4)
+    rng = random.Random(0)
+    masks = [rng.getrandbits(24) for _ in range(300)]
+
+    def storm():
+        cache = PLICache(instance)
+        for mask in masks:
+            cache.get(mask)
+        return cache
+
+    cache = benchmark.pedantic(storm, rounds=3, iterations=1)
+    assert cache.cache_size() > 24
+    _ROWS["PLICache 300-mask storm (24 attrs)"] = benchmark.stats.stats.min

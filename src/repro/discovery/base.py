@@ -54,16 +54,11 @@ class FDAlgorithm(abc.ABC):
         )
 
 
-def discover_fds(
-    instance: RelationInstance, algorithm: FDAlgorithm | str = "hyfd", **kwargs
-) -> FDSet:
-    """Convenience front door: discover FDs with a named algorithm.
+def resolve_fd_algorithm(algorithm: str, **kwargs) -> FDAlgorithm:
+    """Instantiate an FD discoverer by name.
 
-    ``algorithm`` may be an :class:`FDAlgorithm` instance or one of
-    ``"hyfd"``, ``"tane"``, ``"dfd"``, ``"bruteforce"``.
+    Names: ``"hyfd"``, ``"tane"``, ``"dfd"``, ``"bruteforce"``.
     """
-    if isinstance(algorithm, FDAlgorithm):
-        return algorithm.discover(instance)
     # Imported lazily to avoid a circular import at package load time.
     from repro.discovery.bruteforce import BruteForceFD
     from repro.discovery.dfd import DFD
@@ -79,4 +74,17 @@ def discover_fds(
     key = algorithm.lower()
     if key not in registry:
         raise ValueError(f"unknown FD algorithm {algorithm!r}; choose from {sorted(registry)}")
-    return registry[key](**kwargs).discover(instance)
+    return registry[key](**kwargs)
+
+
+def discover_fds(
+    instance: RelationInstance, algorithm: FDAlgorithm | str = "hyfd", **kwargs
+) -> FDSet:
+    """Convenience front door: discover FDs with a named algorithm.
+
+    ``algorithm`` may be an :class:`FDAlgorithm` instance or one of
+    ``"hyfd"``, ``"tane"``, ``"dfd"``, ``"bruteforce"``.
+    """
+    if isinstance(algorithm, FDAlgorithm):
+        return algorithm.discover(instance)
+    return resolve_fd_algorithm(algorithm, **kwargs).discover(instance)

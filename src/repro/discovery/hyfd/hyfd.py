@@ -37,19 +37,27 @@ class HyFD(FDAlgorithm):
         max_lhs_size: int | None = None,
         switch_threshold: float = 0.2,
         sample_rounds_per_switch: int = 4,
+        max_cached_partitions: int | None = None,
     ) -> None:
         super().__init__(null_equals_null, max_lhs_size)
         if not 0.0 <= switch_threshold <= 1.0:
             raise ValueError("switch_threshold must be within [0, 1]")
         self.switch_threshold = switch_threshold
         self.sample_rounds_per_switch = sample_rounds_per_switch
+        self.max_cached_partitions = max_cached_partitions
+        self.last_cache_stats = None
 
     def discover(self, instance: RelationInstance) -> FDSet:
         arity = instance.arity
         result = FDSet(arity)
         if arity == 0:
             return result
-        cache = PLICache(instance, self.null_equals_null)
+        cache = PLICache(
+            instance,
+            self.null_equals_null,
+            max_partitions=self.max_cached_partitions,
+        )
+        self.last_cache_stats = cache.stats
         sampler = Sampler(instance, cache)
         sampler.initial_rounds()
         tree = build_positive_cover(

@@ -28,13 +28,14 @@ class Sampler:
     def __init__(self, instance: RelationInstance, cache: PLICache) -> None:
         self.arity = instance.arity
         self.num_rows = instance.num_rows
-        self._probes = [cache.probe(attr) for attr in range(self.arity)]
+        self._encoding = cache.encoding
+        self._probes = self._encoding.codes
         # Sort each cluster so that neighbouring records are similar.
         self._clusters: list[list[list[int]]] = []
         for attr in range(self.arity):
             sorted_clusters = [
                 sorted(cluster, key=self._record_key)
-                for cluster in cache.get(1 << attr).clusters
+                for cluster in cache.get(1 << attr).iter_clusters()
             ]
             self._clusters.append(sorted_clusters)
         self.negative_cover: set[int] = set()
@@ -52,12 +53,7 @@ class Sampler:
     # Evidence collection
     # ------------------------------------------------------------------
     def _agree_set(self, left: int, right: int) -> int:
-        agree = 0
-        for attr in range(self.arity):
-            probe = self._probes[attr]
-            if probe[left] == probe[right]:
-                agree |= 1 << attr
-        return agree
+        return self._encoding.agree_set(left, right)
 
     def compare(self, left: int, right: int) -> int | None:
         """Compare one record pair; return its agree set if it is new."""

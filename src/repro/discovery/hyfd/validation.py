@@ -2,9 +2,15 @@
 
 Candidates are validated level by level (by LHS size).  A candidate
 ``X → a`` is checked with stripped partitions: every cluster of π(X)
-must agree on ``a``'s value ids.  An invalid candidate is removed and
-specialized — using the concrete violating record pair's *full* agree
-set, which simultaneously enriches the negative cover.
+must agree on ``a``'s value ids.  All RHS candidates of one LHS node
+are validated in a **single pass** over π(X)
+(:meth:`~repro.structures.partitions.StrippedPartition.find_violations`),
+as in the original HyFD: the partition data is swept once per (LHS,
+level) regardless of the RHS fan-out, and every refuted attribute
+yields one concrete violating record pair.  An invalid candidate is
+removed and specialized — using the violating pair's *full* agree set
+(computed on the shared column encoding), which simultaneously
+enriches the negative cover.
 
 The "hybrid" switch: if a level refutes more than ``switch_threshold``
 of its candidates, validation is interrupted and the sampler runs more
@@ -65,28 +71,30 @@ def _validate_level(
     candidates: list[tuple[int, int]],
     max_lhs_size: int | None,
 ) -> int:
-    """Validate one level's candidates; return the number refuted."""
+    """Validate one level's candidates; return the number refuted.
+
+    All RHS attributes of one LHS node are checked with a single
+    partition sweep (multi-RHS validation); refuted attributes are
+    specialized in ascending attribute order, matching the historical
+    per-attribute iteration.
+    """
     invalid = 0
     for lhs, rhs_mask in candidates:
-        for rhs_attr in iter_bits(rhs_mask):
-            if not tree.contains_fd(lhs, rhs_attr):
-                continue  # already specialized away within this level pass
-            probe = cache.probe(rhs_attr)
-            pair = cache.get(lhs).find_violating_pair(probe)
+        rhs_attrs = [
+            attr
+            for attr in iter_bits(rhs_mask)
+            if tree.contains_fd(lhs, attr)  # not specialized away meanwhile
+        ]
+        if not rhs_attrs:
+            continue
+        probes = [cache.probe(attr) for attr in rhs_attrs]
+        violations = cache.get(lhs).find_violations(rhs_attrs, probes)
+        for rhs_attr in rhs_attrs:
+            pair = violations.get(rhs_attr)
             if pair is None:
                 continue
             invalid += 1
             tree.remove(lhs, 1 << rhs_attr)
-            agree = _agree_set_of_pair(cache, pair)
+            agree = cache.agree_set(*pair)
             specialize(tree, lhs, rhs_attr, agree, max_lhs_size)
     return invalid
-
-
-def _agree_set_of_pair(cache: PLICache, pair: tuple[int, int]) -> int:
-    left, right = pair
-    agree = 0
-    for attr in range(cache.instance.arity):
-        probe = cache.probe(attr)
-        if probe[left] == probe[right]:
-            agree |= 1 << attr
-    return agree

@@ -40,19 +40,27 @@ class HyUCC:
         null_equals_null: bool = True,
         switch_threshold: float = 0.2,
         sample_rounds_per_switch: int = 4,
+        max_cached_partitions: int | None = None,
     ) -> None:
         if not 0.0 <= switch_threshold <= 1.0:
             raise ValueError("switch_threshold must be within [0, 1]")
         self.null_equals_null = null_equals_null
         self.switch_threshold = switch_threshold
         self.sample_rounds_per_switch = sample_rounds_per_switch
+        self.max_cached_partitions = max_cached_partitions
+        self.last_cache_stats = None
 
     def discover(self, instance: RelationInstance) -> list[int]:
         """Return all minimal unique column combinations as bitmasks."""
         arity = instance.arity
         if arity == 0:
             return []
-        cache = PLICache(instance, self.null_equals_null)
+        cache = PLICache(
+            instance,
+            self.null_equals_null,
+            max_partitions=self.max_cached_partitions,
+        )
+        self.last_cache_stats = cache.stats
         if cache.get(0).is_unique:  # ≤ 1 row
             return [0]
 
@@ -114,7 +122,7 @@ class HyUCC:
                 if partition.is_unique:
                     continue
                 invalid += 1
-                pair_cluster = partition.clusters[0]
+                pair_cluster = partition.cluster(0)
                 agree = self._agree_set(cache, pair_cluster[0], pair_cluster[1])
                 self._apply_agree_set(candidates, agree, arity)
                 sampler.negative_cover.add(agree)
@@ -135,9 +143,4 @@ class HyUCC:
 
     @staticmethod
     def _agree_set(cache: PLICache, left: int, right: int) -> int:
-        agree = 0
-        for attr in range(cache.instance.arity):
-            probe = cache.probe(attr)
-            if probe[left] == probe[right]:
-                agree |= 1 << attr
-        return agree
+        return cache.agree_set(left, right)

@@ -52,11 +52,12 @@ class Tane(FDAlgorithm):
         errors: dict[int, int] = {0: empty_partition.error}
         cplus: dict[int, int] = {0: everything}
 
+        encoding = instance.encoded(self.null_equals_null)
         level: list[int] = []
         for attr in range(arity):
             mask = 1 << attr
-            partitions[mask] = StrippedPartition.from_column(
-                instance.columns_data[attr], self.null_equals_null
+            partitions[mask] = StrippedPartition.from_value_ids(
+                encoding.codes[attr], encoding.null_codes[attr]
             )
             errors[mask] = partitions[mask].error
             level.append(mask)
@@ -67,10 +68,11 @@ class Tane(FDAlgorithm):
                 break
             self._compute_dependencies(level, cplus, errors, everything, result)
             survivors = self._prune(
-                level, cplus, partitions, errors, everything, result
+                level, cplus, partitions, errors, everything, result,
+                encoding.codes,
             )
             level, partitions = self._generate_next_level(
-                survivors, partitions, errors, arity
+                survivors, partitions, errors, arity, encoding.codes
             )
             depth += 1
         return result
@@ -110,6 +112,7 @@ class Tane(FDAlgorithm):
         errors: dict[int, int],
         everything: int,
         result: FDSet,
+        codes: list,
     ) -> list[int]:
         survivors = []
         for x_mask in level:
@@ -120,7 +123,7 @@ class Tane(FDAlgorithm):
                 if self._within_lhs_bound(x_mask):
                     for attr in iter_bits(candidates & ~x_mask):
                         if self._key_fd_is_minimal(
-                            x_mask, attr, partitions, errors
+                            x_mask, attr, partitions, errors, codes
                         ):
                             result.add_masks(x_mask, 1 << attr)
                 continue
@@ -133,6 +136,7 @@ class Tane(FDAlgorithm):
         attr: int,
         partitions: dict[int, StrippedPartition],
         errors: dict[int, int],
+        codes: list,
     ) -> bool:
         """Direct minimality test for a key's FD ``X → attr``.
 
@@ -146,8 +150,8 @@ class Tane(FDAlgorithm):
             joined = sub | attr_bit
             joined_error = errors.get(joined)
             if joined_error is None:
-                joined_error = partitions[sub].intersect(
-                    partitions[attr_bit]
+                joined_error = partitions[sub].intersect_ids(
+                    codes[attr]
                 ).error
                 errors[joined] = joined_error
             if errors[sub] == joined_error:
@@ -163,6 +167,7 @@ class Tane(FDAlgorithm):
         partitions: dict[int, StrippedPartition],
         errors: dict[int, int],
         arity: int,
+        codes: list,
     ) -> tuple[list[int], dict[int, StrippedPartition]]:
         survivor_set = set(survivors)
         # Group by prefix (all attributes except the largest one).
@@ -176,10 +181,15 @@ class Tane(FDAlgorithm):
         for block in prefix_blocks.values():
             block.sort()
             for first, second in itertools.combinations(block, 2):
+                # first and second share the prefix, so the join only adds
+                # second's top attribute: π(first) · π({top}) = π(candidate),
+                # computed against the value-id vector (no probe fill/reset).
                 candidate = first | second
                 if not _all_subsets_present(candidate, survivor_set):
                     continue
-                partition = partitions[first].intersect(partitions[second])
+                partition = partitions[first].intersect_ids(
+                    codes[second.bit_length() - 1]
+                )
                 next_partitions[candidate] = partition
                 errors[candidate] = partition.error
                 next_level.append(candidate)

@@ -42,17 +42,25 @@ class DuccUCC:
         null_equals_null: bool = True,
         seed: int = 42,
         random_walks: int = 8,
+        max_cached_partitions: int | None = None,
     ) -> None:
         self.null_equals_null = null_equals_null
         self.seed = seed
         self.random_walks = random_walks
+        self.max_cached_partitions = max_cached_partitions
+        self.last_cache_stats = None
 
     def discover(self, instance: RelationInstance) -> list[int]:
         """Return all minimal unique column combinations as bitmasks."""
         arity = instance.arity
         if arity == 0:
             return []
-        cache = PLICache(instance, self.null_equals_null)
+        cache = PLICache(
+            instance,
+            self.null_equals_null,
+            max_partitions=self.max_cached_partitions,
+        )
+        self.last_cache_stats = cache.stats
 
         def is_unique(mask: int) -> bool:
             return cache.get(mask).is_unique
@@ -72,6 +80,7 @@ class NaiveUCC:
 
     def __init__(self, null_equals_null: bool = True) -> None:
         self.null_equals_null = null_equals_null
+        self.last_cache_stats = None
 
     def discover(self, instance: RelationInstance) -> list[int]:
         """Return all minimal unique column combinations as bitmasks."""
@@ -79,6 +88,7 @@ class NaiveUCC:
         if arity == 0:
             return []
         cache = PLICache(instance, self.null_equals_null)
+        self.last_cache_stats = cache.stats
         if cache.get(0).is_unique:  # ≤ 1 row: the empty set is unique
             return [0]
         minimal = SetTrie()
@@ -116,10 +126,8 @@ def _next_level(survivors: list[int]) -> list[int]:
     return next_level
 
 
-def discover_uccs(
-    instance: RelationInstance, algorithm: str = "ducc", **kwargs
-) -> list[int]:
-    """Convenience front door for UCC discovery.
+def resolve_ucc_algorithm(algorithm: str = "ducc", **kwargs):
+    """Instantiate a UCC discoverer by name.
 
     Algorithms: ``"ducc"`` (default), ``"hyucc"``, ``"naive"``.
     """
@@ -129,4 +137,11 @@ def discover_uccs(
     key = algorithm.lower()
     if key not in registry:
         raise ValueError(f"unknown UCC algorithm {algorithm!r}; choose from {sorted(registry)}")
-    return registry[key](**kwargs).discover(instance)
+    return registry[key](**kwargs)
+
+
+def discover_uccs(
+    instance: RelationInstance, algorithm: str = "ducc", **kwargs
+) -> list[int]:
+    """Convenience front door for UCC discovery (see :func:`resolve_ucc_algorithm`)."""
+    return resolve_ucc_algorithm(algorithm, **kwargs).discover(instance)

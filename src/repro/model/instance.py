@@ -27,7 +27,7 @@ Row = tuple[Any, ...]
 class RelationInstance:
     """A relation schema plus its data, stored column-major."""
 
-    __slots__ = ("relation", "columns_data")
+    __slots__ = ("relation", "columns_data", "_encodings")
 
     def __init__(self, relation: Relation, columns_data: Sequence[list]) -> None:
         if len(columns_data) != relation.arity:
@@ -40,6 +40,29 @@ class RelationInstance:
             raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
         self.relation = relation
         self.columns_data: list[list] = [list(column) for column in columns_data]
+        self._encodings: dict[bool, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Columnar value encoding (the PLI hot path's substrate)
+    # ------------------------------------------------------------------
+    def encoded(self, null_equals_null: bool = True):
+        """Dictionary-encode all columns once; memoized per NULL semantics.
+
+        Returns the shared :class:`~repro.structures.encoding.EncodedRelation`
+        that PLI construction, validation, and sampling all index instead
+        of re-deriving value ids from the raw Python objects.  The memo
+        is invalidated when rows are appended in place (the incremental
+        extension does this); cell mutation in place is not supported
+        anywhere in the library.
+        """
+        from repro.structures.encoding import EncodedRelation
+
+        cached = self._encodings.get(null_equals_null)
+        if cached is not None and cached.num_rows == self.num_rows:
+            return cached
+        encoding = EncodedRelation.encode(self.columns_data, null_equals_null)
+        self._encodings[null_equals_null] = encoding
+        return encoding
 
     # ------------------------------------------------------------------
     # Constructors

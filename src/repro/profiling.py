@@ -23,9 +23,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.discovery.base import FDAlgorithm, discover_fds
+from repro.discovery.base import FDAlgorithm, resolve_fd_algorithm
 from repro.discovery.ind import IND, discover_unary_inds
-from repro.discovery.ucc import discover_uccs
+from repro.discovery.ucc import resolve_ucc_algorithm
 from repro.evaluation.reporting import format_table
 from repro.model.fd import FDSet
 from repro.model.instance import RelationInstance
@@ -57,6 +57,7 @@ class DataProfile:
     fds: FDSet
     uccs: list[int]
     timings: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
 
     def to_str(self) -> str:
         lines = [
@@ -66,8 +67,15 @@ class DataProfile:
             f"({len(self.fds)} aggregated, avg |RHS| "
             f"{self.fds.average_rhs_size():.1f})",
             f"  minimal UCCs: {len(self.uccs)}",
-            "",
         ]
+        if self.counters:
+            lines.append(
+                "  PLI cache: "
+                + ", ".join(
+                    f"{key}={value}" for key, value in self.counters.items()
+                )
+            )
+        lines.append("")
         rows = [
             [
                 stat.name,
@@ -117,8 +125,14 @@ def profile(
     ucc_algorithm: str = "ducc",
     null_equals_null: bool = True,
 ) -> DataProfile:
-    """Profile one relation: column stats, minimal FDs, minimal UCCs."""
+    """Profile one relation: column stats, minimal FDs, minimal UCCs.
+
+    ``counters`` in the returned profile carries the PLI-cache
+    hit/miss/eviction totals of the discovery runs (prefixed ``fd_`` /
+    ``ucc_``) whenever the chosen algorithms expose them.
+    """
     timings: dict[str, float] = {}
+    counters: dict[str, int] = {}
 
     started = time.perf_counter()
     columns = _column_stats(instance)
@@ -126,18 +140,20 @@ def profile(
 
     started = time.perf_counter()
     if isinstance(fd_algorithm, str):
-        fds = discover_fds(
-            instance, fd_algorithm, null_equals_null=null_equals_null
+        fd_algorithm = resolve_fd_algorithm(
+            fd_algorithm, null_equals_null=null_equals_null
         )
-    else:
-        fds = fd_algorithm.discover(instance)
+    fds = fd_algorithm.discover(instance)
     timings["fd_discovery"] = time.perf_counter() - started
+    _collect_cache_counters(counters, "fd_", fd_algorithm)
 
     started = time.perf_counter()
-    uccs = discover_uccs(
-        instance, ucc_algorithm, null_equals_null=null_equals_null
+    ucc = resolve_ucc_algorithm(
+        ucc_algorithm, null_equals_null=null_equals_null
     )
+    uccs = ucc.discover(instance)
     timings["ucc_discovery"] = time.perf_counter() - started
+    _collect_cache_counters(counters, "ucc_", ucc)
 
     return DataProfile(
         relation=instance.name,
@@ -147,7 +163,15 @@ def profile(
         fds=fds,
         uccs=uccs,
         timings=timings,
+        counters=counters,
     )
+
+
+def _collect_cache_counters(counters: dict[str, int], prefix: str, algorithm) -> None:
+    stats = getattr(algorithm, "last_cache_stats", None)
+    if stats is not None:
+        for key, value in stats.as_dict().items():
+            counters[f"{prefix}{key}"] = value
 
 
 def profile_many(

@@ -7,15 +7,27 @@ These are the performance-critical substrates the paper relies on:
   for subset lookups over attribute sets,
 * :mod:`repro.structures.fdtree` — the FD prefix tree that HyFD uses as
   its positive cover,
+* :mod:`repro.structures.encoding` — columnar dictionary encoding of
+  relation values, the shared substrate of the PLI hot path,
 * :mod:`repro.structures.partitions` — stripped partitions (position
-  list indexes) with intersection, the backbone of TANE/DFD/HyFD,
+  list indexes, CSR layout) with intersection, the backbone of
+  TANE/DFD/HyFD,
 * :mod:`repro.structures.bloom` — Bloom filters with cardinality
   estimation for the duplication score (paper §7.2).
 """
 
 from repro.structures.bloom import BloomFilter
+from repro.structures.encoding import EncodedRelation
 from repro.structures.fdtree import FDTree
-from repro.structures.partitions import PLICache, StrippedPartition
+from repro.structures.partitions import CacheStats, PLICache, StrippedPartition
 from repro.structures.settrie import SetTrie
 
-__all__ = ["BloomFilter", "FDTree", "PLICache", "SetTrie", "StrippedPartition"]
+__all__ = [
+    "BloomFilter",
+    "CacheStats",
+    "EncodedRelation",
+    "FDTree",
+    "PLICache",
+    "SetTrie",
+    "StrippedPartition",
+]

@@ -1,0 +1,136 @@
+"""Columnar dictionary encoding — the shared substrate of the PLI hot path.
+
+Every consumer of record-level value comparisons (PLI construction, HyFD
+validation, the sampler, agree-set computation) needs the same thing: a
+dense integer id per distinct value, per column, with the configured
+NULL semantics baked in.  Historically each consumer re-derived those
+ids from the raw Python objects; this module computes them **once per
+relation instance** and hands out flat ``array('i')`` vectors that
+everything else indexes.
+
+Encoding rules (identical to the classic ``column_value_ids`` helper):
+
+* ids are assigned in first-occurrence order, densely from 0,
+* with ``null_equals_null=True`` all NULLs of a column share one id
+  (recorded as :attr:`EncodedRelation.null_codes` so partition builders
+  can keep the NULL cluster in its conventional last position),
+* with ``null_equals_null=False`` every NULL receives a fresh id, so no
+  two NULL rows ever agree and NULL rows are stripped as singletons.
+
+The module deliberately imports nothing from :mod:`repro.model` so the
+model layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Sequence
+from typing import Any
+
+__all__ = ["EncodedRelation", "encode_column"]
+
+
+def encode_column(
+    values: Sequence[Any], null_equals_null: bool = True
+) -> tuple[array, int, int | None]:
+    """Dictionary-encode one column.
+
+    Returns ``(codes, cardinality, null_code)`` where ``codes`` is an
+    ``array('i')`` of dense value ids, ``cardinality`` the number of ids
+    assigned, and ``null_code`` the shared NULL id (``None`` when the
+    column has no NULLs or NULLs are pairwise distinct).
+    """
+    codes = array("i", bytes(4 * len(values)))
+    ids: dict[Any, int] = {}
+    next_id = 0
+    null_code: int | None = None
+    for row, value in enumerate(values):
+        if value is None:
+            if null_equals_null:
+                if null_code is None:
+                    null_code = next_id
+                    next_id += 1
+                codes[row] = null_code
+            else:
+                codes[row] = next_id
+                next_id += 1
+            continue
+        assigned = ids.get(value)
+        if assigned is None:
+            assigned = next_id
+            ids[value] = assigned
+            next_id += 1
+        codes[row] = assigned
+    return codes, next_id, null_code
+
+
+class EncodedRelation:
+    """All columns of one relation instance, dictionary-encoded.
+
+    ``codes[attr][row]`` is the dense value id of cell ``(row, attr)``.
+    Instances are built via :meth:`encode` and cached on the owning
+    :class:`~repro.model.instance.RelationInstance`.
+    """
+
+    __slots__ = (
+        "codes",
+        "cardinalities",
+        "null_codes",
+        "num_rows",
+        "arity",
+        "null_equals_null",
+    )
+
+    def __init__(
+        self,
+        codes: list[array],
+        cardinalities: list[int],
+        null_codes: list[int | None],
+        num_rows: int,
+        null_equals_null: bool,
+    ) -> None:
+        self.codes = codes
+        self.cardinalities = cardinalities
+        self.null_codes = null_codes
+        self.num_rows = num_rows
+        self.arity = len(codes)
+        self.null_equals_null = null_equals_null
+
+    @classmethod
+    def encode(
+        cls, columns_data: Sequence[Sequence[Any]], null_equals_null: bool = True
+    ) -> "EncodedRelation":
+        """Encode every column of a column-major table."""
+        codes: list[array] = []
+        cardinalities: list[int] = []
+        null_codes: list[int | None] = []
+        num_rows = len(columns_data[0]) if columns_data else 0
+        for column in columns_data:
+            col_codes, cardinality, null_code = encode_column(
+                column, null_equals_null
+            )
+            codes.append(col_codes)
+            cardinalities.append(cardinality)
+            null_codes.append(null_code)
+        return cls(codes, cardinalities, null_codes, num_rows, null_equals_null)
+
+    def agree_set(self, left: int, right: int) -> int:
+        """Bitmask of the attributes on which rows ``left``/``right`` agree.
+
+        This is *the* shared agree-set helper: the sampler, HyFD
+        validation, and HyUCC all delegate here instead of re-implementing
+        the loop on their own probe copies.
+        """
+        agree = 0
+        bit = 1
+        for codes in self.codes:
+            if codes[left] == codes[right]:
+                agree |= bit
+            bit <<= 1
+        return agree
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EncodedRelation({self.arity} cols, {self.num_rows} rows, "
+            f"null_equals_null={self.null_equals_null})"
+        )

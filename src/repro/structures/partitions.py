@@ -1,4 +1,4 @@
-"""Stripped partitions (position list indexes) and their intersection.
+"""Stripped partitions (position list indexes) on a flat CSR layout.
 
 A *stripped partition* ``π(X)`` groups the row indices of a relation by
 equal values in the attribute set ``X`` and drops singleton clusters
@@ -9,32 +9,86 @@ representation [Huhtala et al. 1999] that HyFD and DFD reuse:
   ``error(π(X)) == error(π(X ∪ A))``,
 * ``X`` is a unique (key candidate) iff ``π(X)`` is empty.
 
+Storage is columnar, not nested: one contiguous ``array('i')`` of row
+indices (``row_data``) plus a cluster-offset array (``offsets``), so
+cluster ``i`` occupies ``row_data[offsets[i]:offsets[i+1]]``.  Compared
+to the former list-of-lists layout this keeps the hot loops (product
+intersection, refinement checks) on flat integer arrays and removes a
+Python list object per cluster.  ``clusters`` is kept as a materializing
+property for compatibility and tests.
+
+Intersection reuses one module-level probe buffer (grown on demand,
+reset after use), so repeated products allocate no O(num_rows) scratch
+per call.  The library is single-threaded by design (DESIGN.md §3), so
+the shared buffer needs no locking; :meth:`StrippedPartition.intersect`
+is reentrancy-safe because it resets only the entries it touched before
+returning.
+
 NULL handling is configurable: with ``null_equals_null=True`` (the
 Metanome/paper default) all NULLs land in one cluster; otherwise each
-NULL is its own singleton and is stripped away.
+NULL is its own singleton and is stripped away.  Value-id probes come
+from the shared :mod:`repro.structures.encoding` layer.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-from typing import Any
+from array import array
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.model.attributes import bits_of
-from repro.model.instance import RelationInstance
+from repro.structures.encoding import encode_column
 
-__all__ = ["PLICache", "StrippedPartition"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.model.instance import RelationInstance
 
-_NULL_SENTINEL = object()
+__all__ = ["CacheStats", "PLICache", "StrippedPartition", "column_value_ids"]
+
+
+# One shared probe buffer for all intersections (single-threaded library).
+# Entries are -1 except while an intersect() call is in flight; each call
+# restores the entries it wrote — element-wise when few were touched, via
+# a C-speed slice copy from the constant -1 pool when most were — so
+# consecutive products of any partitions reuse the buffer without
+# allocating O(num_rows) scratch per call.
+_PROBE_BUFFER = array("i")
+_NEG_ONES = array("i")
+
+
+def _probe_buffer(num_rows: int) -> array:
+    if len(_PROBE_BUFFER) < num_rows:
+        grow = [-1] * (num_rows - len(_PROBE_BUFFER))
+        _PROBE_BUFFER.extend(grow)
+        _NEG_ONES.extend(grow)
+    return _PROBE_BUFFER
 
 
 class StrippedPartition:
-    """A stripped partition: non-singleton clusters of row indices."""
+    """A stripped partition in CSR form: flat rows + cluster offsets."""
 
-    __slots__ = ("clusters", "num_rows")
+    __slots__ = ("row_data", "offsets", "num_rows")
 
     def __init__(self, clusters: Sequence[Sequence[int]], num_rows: int) -> None:
-        self.clusters: list[list[int]] = [list(c) for c in clusters if len(c) > 1]
+        row_data = array("i")
+        offsets = array("i", [0])
+        for cluster in clusters:
+            if len(cluster) > 1:
+                row_data.extend(cluster)
+                offsets.append(len(row_data))
+        self.row_data = row_data
+        self.offsets = offsets
         self.num_rows = num_rows
+
+    @classmethod
+    def _from_csr(
+        cls, row_data: array, offsets: array, num_rows: int
+    ) -> "StrippedPartition":
+        partition = cls.__new__(cls)
+        partition.row_data = row_data
+        partition.offsets = offsets
+        partition.num_rows = num_rows
+        return partition
 
     # ------------------------------------------------------------------
     # Construction
@@ -44,47 +98,88 @@ class StrippedPartition:
         cls, values: Sequence[Any], null_equals_null: bool = True
     ) -> "StrippedPartition":
         """Build the single-attribute partition of a data column."""
-        groups: dict[Any, list[int]] = {}
-        null_group: list[int] = []
-        for row, value in enumerate(values):
-            if value is None:
-                if null_equals_null:
-                    null_group.append(row)
-                # else: singleton by definition, stripped immediately
+        codes, _, null_code = encode_column(values, null_equals_null)
+        return cls.from_value_ids(codes, null_code)
+
+    @classmethod
+    def from_value_ids(
+        cls, codes: Sequence[int], null_code: int | None = None
+    ) -> "StrippedPartition":
+        """Build a single-attribute partition from dense value ids.
+
+        ``null_code`` is the shared NULL id (if any); its cluster is
+        emitted last, preserving the ordering of the historical
+        raw-value grouping.
+        """
+        groups: dict[int, list[int]] = {}
+        for row, code in enumerate(codes):
+            group = groups.get(code)
+            if group is None:
+                groups[code] = [row]
             else:
-                groups.setdefault(value, []).append(row)
-        clusters = [cluster for cluster in groups.values() if len(cluster) > 1]
-        if len(null_group) > 1:
-            clusters.append(null_group)
-        return cls(clusters, len(values))
+                group.append(row)
+        null_group = groups.pop(null_code, None) if null_code is not None else None
+        row_data = array("i")
+        offsets = array("i", [0])
+        for cluster in groups.values():
+            if len(cluster) > 1:
+                row_data.extend(cluster)
+                offsets.append(len(row_data))
+        if null_group is not None and len(null_group) > 1:
+            row_data.extend(null_group)
+            offsets.append(len(row_data))
+        return cls._from_csr(row_data, offsets, len(codes))
 
     @classmethod
     def single_cluster(cls, num_rows: int) -> "StrippedPartition":
         """The partition of the empty attribute set: all rows together."""
         if num_rows <= 1:
             return cls([], num_rows)
-        return cls([list(range(num_rows))], num_rows)
+        return cls._from_csr(
+            array("i", range(num_rows)), array("i", [0, num_rows]), num_rows
+        )
 
     # ------------------------------------------------------------------
     # Properties
     # ------------------------------------------------------------------
     @property
+    def clusters(self) -> list[list[int]]:
+        """Materialized list-of-lists view (compatibility/debugging)."""
+        offsets = self.offsets
+        row_data = self.row_data
+        return [
+            list(row_data[offsets[i] : offsets[i + 1]])
+            for i in range(len(offsets) - 1)
+        ]
+
+    def cluster(self, index: int) -> list[int]:
+        """Materialize one cluster by position."""
+        return list(self.row_data[self.offsets[index] : self.offsets[index + 1]])
+
+    def iter_clusters(self) -> Iterator[array]:
+        """Yield each cluster as an ``array('i')`` slice (no row copies)."""
+        offsets = self.offsets
+        row_data = self.row_data
+        for i in range(len(offsets) - 1):
+            yield row_data[offsets[i] : offsets[i + 1]]
+
+    @property
     def num_clusters(self) -> int:
-        return len(self.clusters)
+        return len(self.offsets) - 1
 
     @property
     def num_non_singleton_rows(self) -> int:
-        return sum(len(cluster) for cluster in self.clusters)
+        return len(self.row_data)
 
     @property
     def error(self) -> int:
         """TANE's e(X)·|r|: rows that would have to be removed for a key."""
-        return self.num_non_singleton_rows - self.num_clusters
+        return len(self.row_data) - self.num_clusters
 
     @property
     def is_unique(self) -> bool:
         """True iff the attribute set is a unique column combination."""
-        return not self.clusters
+        return len(self.offsets) == 1
 
     # ------------------------------------------------------------------
     # Operations
@@ -92,30 +187,90 @@ class StrippedPartition:
     def as_probe(self) -> list[int]:
         """Row → cluster id (-1 for stripped singleton rows)."""
         probe = [-1] * self.num_rows
-        for cluster_id, cluster in enumerate(self.clusters):
-            for row in cluster:
+        offsets = self.offsets
+        row_data = self.row_data
+        for cluster_id in range(len(offsets) - 1):
+            for row in row_data[offsets[cluster_id] : offsets[cluster_id + 1]]:
                 probe[row] = cluster_id
         return probe
 
     def intersect(self, other: "StrippedPartition") -> "StrippedPartition":
-        """Product partition ``π(X) · π(Y) = π(X ∪ Y)`` via probe table.
+        """Product partition ``π(X) · π(Y) = π(X ∪ Y)`` via probe buffer.
 
-        This is the standard linear-time stripped-product algorithm.
+        The standard linear-time stripped-product algorithm, on the CSR
+        layout with a reusable probe buffer instead of a fresh
+        O(num_rows) probe list per call.
         """
         if self.num_rows != other.num_rows:
             raise ValueError("partitions cover different numbers of rows")
-        probe = other.as_probe()
-        new_clusters: list[list[int]] = []
-        for cluster in self.clusters:
+        probe = _probe_buffer(self.num_rows)
+        other_rows = other.row_data
+        other_offsets = other.offsets
+        try:
+            for cluster_id in range(len(other_offsets) - 1):
+                for row in other_rows[
+                    other_offsets[cluster_id] : other_offsets[cluster_id + 1]
+                ]:
+                    probe[row] = cluster_id
+            new_rows = array("i")
+            new_offsets = array("i", [0])
+            self_rows = self.row_data
+            self_offsets = self.offsets
             sub: dict[int, list[int]] = {}
-            for row in cluster:
-                other_id = probe[row]
-                if other_id >= 0:
-                    sub.setdefault(other_id, []).append(row)
+            for cluster_id in range(len(self_offsets) - 1):
+                sub.clear()
+                for row in self_rows[
+                    self_offsets[cluster_id] : self_offsets[cluster_id + 1]
+                ]:
+                    other_id = probe[row]
+                    if other_id >= 0:
+                        group = sub.get(other_id)
+                        if group is None:
+                            sub[other_id] = [row]
+                        else:
+                            group.append(row)
+                for rows in sub.values():
+                    if len(rows) > 1:
+                        new_rows.extend(rows)
+                        new_offsets.append(len(new_rows))
+        finally:
+            if 2 * len(other_rows) >= self.num_rows:
+                probe[: self.num_rows] = _NEG_ONES[: self.num_rows]
+            else:
+                for row in other_rows:
+                    probe[row] = -1
+        return StrippedPartition._from_csr(new_rows, new_offsets, self.num_rows)
+
+    def intersect_ids(self, codes: Sequence[int]) -> "StrippedPartition":
+        """Product with a single attribute given as its value-id vector.
+
+        Equivalent to ``self.intersect(StrippedPartition.from_value_ids(codes))``
+        but with no probe fill/reset at all: value ids group rows exactly
+        like cluster ids do, and rows that are singletons under ``codes``
+        form size-1 groups that the ``len > 1`` filter strips — the same
+        rows the ``-1`` probe entries would have skipped.
+        """
+        new_rows = array("i")
+        new_offsets = array("i", [0])
+        self_rows = self.row_data
+        self_offsets = self.offsets
+        sub: dict[int, list[int]] = {}
+        for cluster_id in range(len(self_offsets) - 1):
+            sub.clear()
+            for row in self_rows[
+                self_offsets[cluster_id] : self_offsets[cluster_id + 1]
+            ]:
+                value_id = codes[row]
+                group = sub.get(value_id)
+                if group is None:
+                    sub[value_id] = [row]
+                else:
+                    group.append(row)
             for rows in sub.values():
                 if len(rows) > 1:
-                    new_clusters.append(rows)
-        return StrippedPartition(new_clusters, self.num_rows)
+                    new_rows.extend(rows)
+                    new_offsets.append(len(new_rows))
+        return StrippedPartition._from_csr(new_rows, new_offsets, self.num_rows)
 
     def refines_column(self, probe: Sequence[int]) -> bool:
         """True iff every cluster agrees on ``probe`` values (FD check).
@@ -124,22 +279,68 @@ class StrippedPartition:
         non-negative ids per distinct value; NULL handling must already be
         baked into the ids (same id for all NULLs under null==null).
         """
-        for cluster in self.clusters:
-            first = probe[cluster[0]]
-            for row in cluster[1:]:
+        row_data = self.row_data
+        offsets = self.offsets
+        for cluster_id in range(len(offsets) - 1):
+            start = offsets[cluster_id]
+            first = probe[row_data[start]]
+            for row in row_data[start + 1 : offsets[cluster_id + 1]]:
                 if probe[row] != first:
                     return False
         return True
 
     def find_violating_pair(self, probe: Sequence[int]) -> tuple[int, int] | None:
         """Return one row pair that agrees on X but differs on the probe."""
-        for cluster in self.clusters:
-            first_row = cluster[0]
+        row_data = self.row_data
+        offsets = self.offsets
+        for cluster_id in range(len(offsets) - 1):
+            start = offsets[cluster_id]
+            first_row = row_data[start]
             first = probe[first_row]
-            for row in cluster[1:]:
+            for row in row_data[start + 1 : offsets[cluster_id + 1]]:
                 if probe[row] != first:
                     return (first_row, row)
         return None
+
+    def find_violations(
+        self, rhs_attrs: Sequence[int], probes: Sequence[Sequence[int]]
+    ) -> dict[int, tuple[int, int]]:
+        """Refute many RHS candidates in one sweep over the clusters.
+
+        For each attribute in ``rhs_attrs`` (with its row → value-id
+        vector in ``probes``) the result maps refuted attributes to one
+        violating row pair — exactly the pair the per-attribute
+        :meth:`find_violating_pair` scan would have produced, because
+        clusters are visited in the same order and each row is compared
+        against its cluster's first row.  Attributes whose FD holds are
+        absent from the result.  Each cluster's rows are visited once
+        per *still-active* attribute, so validating the whole RHS
+        fan-out of an LHS node costs a single pass over the partition
+        data instead of one full pass per RHS attribute.
+        """
+        violations: dict[int, tuple[int, int]] = {}
+        remaining = list(zip(rhs_attrs, probes))
+        if not remaining:
+            return violations
+        row_data = self.row_data
+        offsets = self.offsets
+        for cluster_id in range(len(offsets) - 1):
+            start = offsets[cluster_id]
+            first_row = row_data[start]
+            rest = row_data[start + 1 : offsets[cluster_id + 1]]
+            survivors = []
+            for attr, probe in remaining:
+                first = probe[first_row]
+                for row in rest:
+                    if probe[row] != first:
+                        violations[attr] = (first_row, row)
+                        break
+                else:
+                    survivors.append((attr, probe))
+            remaining = survivors
+            if not remaining:
+                break
+        return violations
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -154,89 +355,159 @@ def column_value_ids(
     """Map a column to dense value ids (NULL semantics as configured).
 
     With ``null_equals_null=False`` every NULL receives a fresh id, so no
-    two NULL rows ever "agree".
+    two NULL rows ever "agree".  Thin list wrapper over the columnar
+    :func:`repro.structures.encoding.encode_column`.
     """
-    ids: dict[Any, int] = {}
-    out: list[int] = []
-    next_id = 0
-    for value in values:
-        key = _NULL_SENTINEL if value is None else value
-        if value is None and not null_equals_null:
-            out.append(next_id)
-            next_id += 1
-            continue
-        assigned = ids.get(key)
-        if assigned is None:
-            assigned = next_id
-            ids[key] = assigned
-            next_id += 1
-        out.append(assigned)
-    return out
+    codes, _, _ = encode_column(values, null_equals_null)
+    return codes.tolist()
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`PLICache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "pli_hits": self.hits,
+            "pli_misses": self.misses,
+            "pli_evictions": self.evictions,
+        }
 
 
 class PLICache:
     """Builds and memoizes stripped partitions per attribute-set mask.
 
-    Single-attribute partitions are precomputed; multi-attribute
-    partitions are produced by intersecting, preferring already-cached
-    subsets to keep chains short.  The cache is unbounded — datasets in
-    this library are laptop-scale by design (see DESIGN.md §3).
+    Single-attribute partitions are precomputed from the shared column
+    encoding; multi-attribute partitions are produced by intersecting,
+    preferring already-cached subsets to keep chains short.  Cached
+    masks are indexed by popcount so the best-cached-subset search
+    inspects large subsets first and stops at the first hit instead of
+    scanning the whole cache.
+
+    The cache is unbounded by default — datasets in this library are
+    laptop-scale by design (see DESIGN.md §3).  ``max_partitions``
+    optionally bounds the number of cached *multi*-attribute partitions
+    (the empty set and single attributes are permanent); the
+    least-recently-used partition is evicted first, and ``stats``
+    counts hits, misses, and evictions.
     """
 
-    __slots__ = ("instance", "null_equals_null", "_cache", "_probes")
+    __slots__ = (
+        "instance",
+        "null_equals_null",
+        "max_partitions",
+        "stats",
+        "_encoding",
+        "_cache",
+        "_by_popcount",
+        "_multi_count",
+    )
 
     def __init__(
-        self, instance: RelationInstance, null_equals_null: bool = True
+        self,
+        instance: RelationInstance,
+        null_equals_null: bool = True,
+        max_partitions: int | None = None,
     ) -> None:
+        if max_partitions is not None and max_partitions < 1:
+            raise ValueError("max_partitions must be positive (or None)")
         self.instance = instance
         self.null_equals_null = null_equals_null
+        self.max_partitions = max_partitions
+        self.stats = CacheStats()
+        self._encoding = instance.encoded(null_equals_null)
         self._cache: dict[int, StrippedPartition] = {
             0: StrippedPartition.single_cluster(instance.num_rows)
         }
-        self._probes: dict[int, list[int]] = {}
+        # popcount → masks in insertion order ({mask: None} as ordered set)
+        self._by_popcount: dict[int, dict[int, None]] = {}
+        self._multi_count = 0
         for index in range(instance.arity):
-            column = instance.columns_data[index]
-            self._cache[1 << index] = StrippedPartition.from_column(
-                column, null_equals_null
+            mask = 1 << index
+            self._cache[mask] = StrippedPartition.from_value_ids(
+                self._encoding.codes[index], self._encoding.null_codes[index]
             )
+            self._by_popcount.setdefault(1, {})[mask] = None
+
+    @property
+    def encoding(self):
+        """The shared column encoding this cache (and its callers) use."""
+        return self._encoding
 
     def get(self, mask: int) -> StrippedPartition:
         """Return (building if necessary) the partition for ``mask``."""
         cached = self._cache.get(mask)
         if cached is not None:
+            self.stats.hits += 1
+            self._touch(mask)
             return cached
-        partition = self._build(mask)
-        self._cache[mask] = partition
-        return partition
+        self.stats.misses += 1
+        return self._build(mask)
 
     def _build(self, mask: int) -> StrippedPartition:
         # Greedy: start from the largest cached subset, then intersect in
         # remaining single columns smallest-first (small partitions first
         # keeps intermediate products small).
-        best_mask = 0
-        for cached_mask in self._cache:
-            if cached_mask and cached_mask & ~mask == 0:
-                if cached_mask.bit_count() > best_mask.bit_count():
-                    best_mask = cached_mask
+        best_mask = self._best_cached_subset(mask)
         partition = self._cache[best_mask]
-        remaining = [1 << i for i in bits_of(mask & ~best_mask)]
-        remaining.sort(key=lambda m: self._cache[m].num_non_singleton_rows)
+        remaining = list(bits_of(mask & ~best_mask))
+        remaining.sort(
+            key=lambda i: self._cache[1 << i].num_non_singleton_rows
+        )
+        codes = self._encoding.codes
         accumulated = best_mask
-        for single in remaining:
-            partition = partition.intersect(self._cache[single])
-            accumulated |= single
-            self._cache[accumulated] = partition
+        for index in remaining:
+            partition = partition.intersect_ids(codes[index])
+            accumulated |= 1 << index
+            self._insert(accumulated, partition)
         return partition
 
-    def probe(self, attribute: int) -> list[int]:
-        """Row → value id for one attribute (cached)."""
-        cached = self._probes.get(attribute)
-        if cached is None:
-            cached = column_value_ids(
-                self.instance.columns_data[attribute], self.null_equals_null
-            )
-            self._probes[attribute] = cached
-        return cached
+    def _best_cached_subset(self, mask: int) -> int:
+        """Largest cached subset of ``mask`` via the popcount index."""
+        for popcount in range(mask.bit_count() - 1, 0, -1):
+            bucket = self._by_popcount.get(popcount)
+            if not bucket:
+                continue
+            for cached_mask in bucket:
+                if cached_mask & ~mask == 0:
+                    self._touch(cached_mask)
+                    return cached_mask
+        return 0
+
+    def _touch(self, mask: int) -> None:
+        """Mark an evictable partition most-recently-used."""
+        if self.max_partitions is not None and mask.bit_count() >= 2:
+            partition = self._cache.pop(mask)
+            self._cache[mask] = partition
+
+    def _insert(self, mask: int, partition: StrippedPartition) -> None:
+        if mask in self._cache:
+            self._cache[mask] = partition
+            self._touch(mask)
+            return
+        self._cache[mask] = partition
+        self._by_popcount.setdefault(mask.bit_count(), {})[mask] = None
+        self._multi_count += 1
+        if self.max_partitions is None:
+            return
+        while self._multi_count > self.max_partitions:
+            victim = next(m for m in self._cache if m.bit_count() >= 2)
+            del self._cache[victim]
+            del self._by_popcount[victim.bit_count()][victim]
+            self._multi_count -= 1
+            self.stats.evictions += 1
+
+    def probe(self, attribute: int) -> array:
+        """Row → value id for one attribute (the shared encoded column)."""
+        return self._encoding.codes[attribute]
+
+    def agree_set(self, left: int, right: int) -> int:
+        """Attribute bitmask on which two rows agree (shared helper)."""
+        return self._encoding.agree_set(left, right)
 
     def cache_size(self) -> int:
         return len(self._cache)

@@ -98,6 +98,106 @@ class TestEquivalence:
         assert fds.is_minimal()
 
 
+class _ListStrippedPartition:
+    """The pre-CSR list-of-lists stripped partition (reference copy).
+
+    Kept verbatim from the historical implementation so the CSR engine
+    can be cross-checked against it on randomized instances.
+    """
+
+    def __init__(self, clusters, num_rows):
+        self.clusters = [list(c) for c in clusters if len(c) > 1]
+        self.num_rows = num_rows
+
+    @classmethod
+    def from_column(cls, values, null_equals_null=True):
+        groups = {}
+        null_group = []
+        for row, value in enumerate(values):
+            if value is None:
+                if null_equals_null:
+                    null_group.append(row)
+            else:
+                groups.setdefault(value, []).append(row)
+        clusters = [cluster for cluster in groups.values() if len(cluster) > 1]
+        if len(null_group) > 1:
+            clusters.append(null_group)
+        return cls(clusters, len(values))
+
+    def as_probe(self):
+        probe = [-1] * self.num_rows
+        for cluster_id, cluster in enumerate(self.clusters):
+            for row in cluster:
+                probe[row] = cluster_id
+        return probe
+
+    def intersect(self, other):
+        probe = other.as_probe()
+        new_clusters = []
+        for cluster in self.clusters:
+            sub = {}
+            for row in cluster:
+                other_id = probe[row]
+                if other_id >= 0:
+                    sub.setdefault(other_id, []).append(row)
+            for rows in sub.values():
+                if len(rows) > 1:
+                    new_clusters.append(rows)
+        return _ListStrippedPartition(new_clusters, self.num_rows)
+
+
+class TestCSRAgainstListPartition:
+    """The CSR partition engine must reproduce the old list-based one."""
+
+    @given(params=instance_params)
+    @settings(max_examples=40)
+    def test_from_column_identical(self, params):
+        from repro.structures.partitions import StrippedPartition
+
+        seed, cols, rows, domain, null_rate = params
+        instance = random_instance(seed, cols, rows, domain, null_rate)
+        for nen in (True, False):
+            for attr in range(cols):
+                csr = StrippedPartition.from_column(
+                    instance.columns_data[attr], nen
+                )
+                reference = _ListStrippedPartition.from_column(
+                    instance.columns_data[attr], nen
+                )
+                # identical clusters in identical order (not just as sets)
+                assert csr.clusters == reference.clusters
+                assert csr.as_probe() == reference.as_probe()
+
+    @given(params=instance_params)
+    @settings(max_examples=40)
+    def test_intersection_chain_identical(self, params):
+        from repro.structures.partitions import StrippedPartition
+
+        seed, cols, rows, domain, null_rate = params
+        instance = random_instance(seed, cols, rows, domain, null_rate)
+        csr = StrippedPartition.from_column(instance.columns_data[0])
+        reference = _ListStrippedPartition.from_column(instance.columns_data[0])
+        for attr in range(1, cols):
+            csr = csr.intersect(
+                StrippedPartition.from_column(instance.columns_data[attr])
+            )
+            reference = reference.intersect(
+                _ListStrippedPartition.from_column(instance.columns_data[attr])
+            )
+            assert csr.clusters == reference.clusters
+
+    @given(params=instance_params)
+    @settings(max_examples=25)
+    def test_discovery_identical_on_randomized_instances(self, params):
+        """End-to-end: HyFD on the CSR engine equals the brute-force oracle
+        (bit-for-bit canonical FD sets) on the same randomized instances
+        the partition cross-checks use."""
+        seed, cols, rows, domain, null_rate = params
+        instance = random_instance(seed, cols, rows, domain, null_rate)
+        expected = canon_fds(BruteForceFD().discover(instance))
+        assert canon_fds(HyFD().discover(instance)) == expected
+
+
 class TestDiscoverFrontDoor:
     def test_by_name(self):
         from repro.discovery.base import discover_fds

@@ -1,0 +1,361 @@
+"""Tests for the columnar partition engine.
+
+Covers the CSR stripped-partition layout, the shared value encoding
+(including NULL-semantics edge cases), the single-pass multi-RHS
+validator, and the PLI cache's popcount index / LRU bound / counters.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.random_tables import random_instance
+from repro.discovery.hyfd.induction import build_positive_cover
+from repro.discovery.hyfd.validation import validate_tree
+from repro.model.attributes import iter_bits
+from repro.structures.encoding import EncodedRelation, encode_column
+from repro.structures.partitions import (
+    PLICache,
+    StrippedPartition,
+    column_value_ids,
+)
+
+
+def signature(partition):
+    return {frozenset(cluster) for cluster in partition.clusters}
+
+
+class TestCSRLayout:
+    def test_offsets_are_csr(self):
+        p = StrippedPartition([[0, 1], [2, 3, 4]], 5)
+        assert list(p.offsets) == [0, 2, 5]
+        assert list(p.row_data) == [0, 1, 2, 3, 4]
+        assert p.num_clusters == 2
+
+    def test_cluster_accessors_match(self):
+        p = StrippedPartition([[1, 3], [0, 2, 4]], 5)
+        assert p.cluster(0) == [1, 3]
+        assert p.cluster(1) == [0, 2, 4]
+        assert [list(c) for c in p.iter_clusters()] == p.clusters
+
+    def test_singletons_stripped_by_constructor(self):
+        p = StrippedPartition([[0], [1, 2], [3]], 4)
+        assert signature(p) == {frozenset({1, 2})}
+
+    def test_from_value_ids_matches_from_column(self):
+        values = ["a", "b", "a", None, None, "b", "c"]
+        for nen in (True, False):
+            codes, _, null_code = encode_column(values, nen)
+            via_ids = StrippedPartition.from_value_ids(codes, null_code)
+            via_column = StrippedPartition.from_column(values, nen)
+            assert via_ids.clusters == via_column.clusters
+
+    def test_null_cluster_ordered_last(self):
+        # NULLs appear first in the data but their cluster stays last,
+        # matching the historical raw-value grouping order.
+        p = StrippedPartition.from_column([None, None, "x", "x"])
+        assert p.clusters == [[2, 3], [0, 1]]
+
+
+class TestEncoding:
+    def test_codes_match_column_value_ids(self):
+        instance = random_instance(3, 4, 30, domain_size=3, null_rate=0.3)
+        for nen in (True, False):
+            encoding = instance.encoded(nen)
+            for attr in range(instance.arity):
+                assert list(encoding.codes[attr]) == column_value_ids(
+                    instance.columns_data[attr], nen
+                )
+
+    def test_encoding_memoized_per_semantics(self):
+        instance = random_instance(4, 3, 10)
+        assert instance.encoded(True) is instance.encoded(True)
+        assert instance.encoded(False) is instance.encoded(False)
+        assert instance.encoded(True) is not instance.encoded(False)
+
+    def test_encoding_invalidated_on_row_append(self):
+        instance = random_instance(4, 2, 5)
+        first = instance.encoded()
+        for index in range(instance.arity):
+            instance.columns_data[index].append("fresh")
+        second = instance.encoded()
+        assert second is not first
+        assert second.num_rows == 6
+
+    def test_all_null_column_null_equals_null(self):
+        codes, cardinality, null_code = encode_column([None, None, None], True)
+        assert list(codes) == [0, 0, 0]
+        assert cardinality == 1
+        assert null_code == 0
+        p = StrippedPartition.from_value_ids(codes, null_code)
+        assert signature(p) == {frozenset({0, 1, 2})}
+
+    def test_all_null_column_null_not_equal(self):
+        codes, cardinality, null_code = encode_column([None, None, None], False)
+        assert len(set(codes)) == 3
+        assert cardinality == 3
+        assert null_code is None
+        p = StrippedPartition.from_value_ids(codes, null_code)
+        assert p.is_unique  # every NULL is its own stripped singleton
+
+    def test_single_non_null_value_column(self):
+        values = [None, "only", None]
+        same = encode_column(values, True)[0]
+        assert same[0] == same[2] != same[1]
+        distinct_codes, _, null_code = encode_column(values, False)
+        assert len(set(distinct_codes)) == 3
+        assert null_code is None
+        assert StrippedPartition.from_value_ids(distinct_codes).is_unique
+
+    def test_agree_set_null_semantics(self):
+        encoding_eq = EncodedRelation.encode([[None, None], ["x", "x"]], True)
+        assert encoding_eq.agree_set(0, 1) == 0b11
+        encoding_ne = EncodedRelation.encode([[None, None], ["x", "x"]], False)
+        assert encoding_ne.agree_set(0, 1) == 0b10  # NULLs never agree
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=2, max_value=20),
+    )
+    @settings(max_examples=25)
+    def test_agree_set_matches_probe_loop(self, seed, cols, rows):
+        instance = random_instance(seed, cols, rows, domain_size=2, null_rate=0.3)
+        for nen in (True, False):
+            encoding = instance.encoded(nen)
+            probes = [
+                column_value_ids(instance.columns_data[i], nen)
+                for i in range(cols)
+            ]
+            for left in range(rows):
+                for right in range(left + 1, min(rows, left + 4)):
+                    expected = 0
+                    for attr in range(cols):
+                        if probes[attr][left] == probes[attr][right]:
+                            expected |= 1 << attr
+                    assert encoding.agree_set(left, right) == expected
+
+
+class TestIntersectIds:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=25),
+    )
+    @settings(max_examples=40)
+    def test_matches_general_intersect(self, seed, rows):
+        instance = random_instance(seed, 3, rows, domain_size=2, null_rate=0.2)
+        encoding = instance.encoded()
+        a = StrippedPartition.from_value_ids(
+            encoding.codes[0], encoding.null_codes[0]
+        )
+        b = StrippedPartition.from_value_ids(
+            encoding.codes[1], encoding.null_codes[1]
+        )
+        assert a.intersect_ids(encoding.codes[1]).clusters == a.intersect(b).clusters
+
+    def test_probe_buffer_left_clean(self):
+        from repro.structures import partitions as mod
+
+        instance = random_instance(1, 3, 200, domain_size=3)
+        a = StrippedPartition.from_column(instance.columns_data[0])
+        b = StrippedPartition.from_column(instance.columns_data[1])
+        a.intersect(b)
+        assert all(v == -1 for v in mod._PROBE_BUFFER)
+        # a sparse partition takes the element-wise reset path
+        sparse = StrippedPartition([[0, 1]], 200)
+        a.intersect(sparse)
+        assert all(v == -1 for v in mod._PROBE_BUFFER)
+
+
+class TestMultiRHSValidator:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=40)
+    def test_matches_per_attribute_scan(self, seed, cols, rows):
+        instance = random_instance(seed, cols, rows, domain_size=2, null_rate=0.2)
+        cache = PLICache(instance)
+        partition = cache.get(0b1)
+        attrs = list(range(1, cols))
+        probes = [cache.probe(a) for a in attrs]
+        got = partition.find_violations(attrs, probes)
+        for attr, probe in zip(attrs, probes):
+            assert got.get(attr) == partition.find_violating_pair(probe)
+
+    def test_empty_rhs_list(self):
+        p = StrippedPartition([[0, 1]], 2)
+        assert p.find_violations([], []) == {}
+
+    def test_single_sweep_per_lhs_and_level(self, monkeypatch):
+        """One partition scan per (LHS, level) regardless of RHS fan-out."""
+        # a key column plus 4 dependent columns: every {A} -> X is valid,
+        # so validation of LHS {A} must check 4 RHS attributes.
+        instance = random_instance(7, 5, 30, domain_size=2)
+        cache = PLICache(instance)
+
+        sweeps: list[tuple[int, ...]] = []
+        original_multi = StrippedPartition.find_violations
+        original_single = StrippedPartition.find_violating_pair
+
+        def counting_multi(self, rhs_attrs, probes):
+            sweeps.append(tuple(rhs_attrs))
+            return original_multi(self, rhs_attrs, probes)
+
+        def forbidden_single(self, probe):  # pragma: no cover - must not run
+            raise AssertionError(
+                "validation must use the multi-RHS single-pass validator"
+            )
+
+        monkeypatch.setattr(StrippedPartition, "find_violations", counting_multi)
+        monkeypatch.setattr(
+            StrippedPartition, "find_violating_pair", forbidden_single
+        )
+
+        tree = build_positive_cover(5, [])
+        validate_tree(tree, cache, sampler=None)
+
+        # Every sweep covers the full RHS fan-out of its LHS node at once:
+        # the number of sweeps equals the number of validated LHS nodes,
+        # never the number of (LHS, RHS) pairs.
+        assert sweeps, "validation ran no sweeps"
+        multi_rhs_sweeps = [s for s in sweeps if len(s) > 1]
+        assert multi_rhs_sweeps, "no sweep validated several RHS at once"
+        # the root node {} -> all 5 attributes is one sweep, not five
+        assert sweeps[0] == (0, 1, 2, 3, 4)
+
+
+class TestPLICacheEngine:
+    def test_stats_counters(self):
+        instance = random_instance(2, 4, 20, domain_size=2)
+        cache = PLICache(instance)
+        assert cache.stats.hits == cache.stats.misses == 0
+        cache.get(0b11)
+        assert cache.stats.misses == 1
+        cache.get(0b11)
+        assert cache.stats.hits == 1
+        assert cache.stats.evictions == 0
+        assert cache.stats.as_dict() == {
+            "pli_hits": 1,
+            "pli_misses": 1,
+            "pli_evictions": 0,
+        }
+
+    def test_invalid_bound_rejected(self):
+        instance = random_instance(2, 3, 10)
+        with pytest.raises(ValueError):
+            PLICache(instance, max_partitions=0)
+
+    def test_lru_eviction_bounds_cache(self):
+        instance = random_instance(3, 6, 40, domain_size=2)
+        cache = PLICache(instance, max_partitions=3)
+        masks = [0b11, 0b101, 0b110, 0b1100, 0b1010, 0b111]
+        for mask in masks:
+            cache.get(mask)
+        assert cache.stats.evictions > 0
+        # permanent entries (empty set + singles) are never evicted
+        assert 0 in cache._cache
+        for attr in range(6):
+            assert (1 << attr) in cache._cache
+        multi = [m for m in cache._cache if m.bit_count() >= 2]
+        assert len(multi) <= 3
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=2**5 - 1),
+    )
+    @settings(max_examples=30)
+    def test_results_identical_under_eviction(self, seed, mask):
+        instance = random_instance(seed, 5, 25, domain_size=2, null_rate=0.2)
+        unbounded = PLICache(instance)
+        bounded = PLICache(instance, max_partitions=2)
+        # thrash the bounded cache first
+        for m in (0b11, 0b110, 0b1100, 0b11000, 0b10001):
+            bounded.get(m)
+        assert signature(bounded.get(mask)) == signature(unbounded.get(mask))
+
+    def test_popcount_index_prefers_largest_subset(self):
+        instance = random_instance(5, 6, 30, domain_size=2)
+        cache = PLICache(instance)
+        cache.get(0b111)  # caches 2- and 3-attribute products
+        assert cache._best_cached_subset(0b1111) == 0b111
+
+    def test_eviction_keeps_index_consistent(self):
+        instance = random_instance(6, 6, 30, domain_size=2)
+        cache = PLICache(instance, max_partitions=2)
+        for mask in (0b11, 0b110, 0b1100, 0b11000, 0b110000):
+            cache.get(mask)
+        # every indexed mask must still be cached and vice versa
+        indexed = {
+            mask
+            for bucket in cache._by_popcount.values()
+            for mask in bucket
+        }
+        cached = {mask for mask in cache._cache if mask != 0}
+        assert indexed == cached
+
+    def test_discovery_correct_with_tiny_cache(self):
+        from repro.discovery.bruteforce import BruteForceFD
+        from repro.discovery.hyfd import HyFD
+        from tests.helpers import canon_fds
+
+        instance = random_instance(9, 5, 22, domain_size=2, null_rate=0.2)
+        expected = canon_fds(BruteForceFD().discover(instance))
+        algo = HyFD(max_cached_partitions=2)
+        assert canon_fds(algo.discover(instance)) == expected
+        assert algo.last_cache_stats is not None
+        assert algo.last_cache_stats.evictions > 0
+
+
+class TestNullSemanticsThroughStack:
+    """null_equals_null=False exercised end to end on hostile columns."""
+
+    def _instance_with(self, columns):
+        from repro.model.instance import RelationInstance
+        from repro.model.schema import Relation
+
+        names = tuple(f"c{i}" for i in range(len(columns)))
+        return RelationInstance(Relation("nulls", names), columns)
+
+    def test_all_null_column_probes_and_partitions(self):
+        instance = self._instance_with(
+            [[None, None, None], ["x", "x", "y"]]
+        )
+        cache = PLICache(instance, null_equals_null=False)
+        assert len(set(cache.probe(0))) == 3
+        assert cache.get(0b01).is_unique
+        assert signature(cache.get(0b10)) == {frozenset({0, 1})}
+        assert cache.get(0b11).is_unique
+
+    def test_all_null_column_agree_sets(self):
+        instance = self._instance_with([[None, None], [None, "v"]])
+        eq_cache = PLICache(instance, null_equals_null=True)
+        ne_cache = PLICache(instance, null_equals_null=False)
+        assert eq_cache.agree_set(0, 1) == 0b01
+        assert ne_cache.agree_set(0, 1) == 0
+
+    def test_single_non_null_value_partitions(self):
+        instance = self._instance_with([[None, "only", None, "only"]])
+        eq_cache = PLICache(instance, null_equals_null=True)
+        assert signature(eq_cache.get(0b1)) == {
+            frozenset({1, 3}),
+            frozenset({0, 2}),
+        }
+        ne_cache = PLICache(instance, null_equals_null=False)
+        assert signature(ne_cache.get(0b1)) == {frozenset({1, 3})}
+
+    def test_hyfd_on_all_null_column(self):
+        from repro.discovery.bruteforce import BruteForceFD
+        from repro.discovery.hyfd import HyFD
+        from tests.helpers import canon_fds
+
+        instance = self._instance_with(
+            [[None] * 6, ["a", "a", "b", "b", "c", "c"], [None, "v"] * 3]
+        )
+        for nen in (True, False):
+            expected = canon_fds(
+                BruteForceFD(null_equals_null=nen).discover(instance)
+            )
+            got = canon_fds(HyFD(null_equals_null=nen).discover(instance))
+            assert got == expected

@@ -156,6 +156,7 @@ class TestPLICache:
     def test_probe_matches_column_value_ids(self):
         instance = random_instance(5, 2, 10, null_rate=0.3)
         cache = PLICache(instance, null_equals_null=False)
-        assert cache.probe(0) == column_value_ids(
+        # probe() hands out the shared array('i') encoding vector
+        assert list(cache.probe(0)) == column_value_ids(
             instance.columns_data[0], null_equals_null=False
         )

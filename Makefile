@@ -2,11 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: verify bench bench-engine
+.PHONY: verify fuzz bench bench-engine
 
 # Tier-1 suite — the gate every change must keep green (see ROADMAP.md).
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Differential/metamorphic verification campaign (docs/TESTING.md).
+fuzz:
+	PYTHONPATH=src $(PYTHON) -m repro verify --seeds 50 --repro-out fuzz-repros.py
+	PYTHONPATH=src $(PYTHON) -m pytest -q -m fuzz
 
 # Full paper-reproduction benchmark harness (writes benchmarks/results/).
 bench:

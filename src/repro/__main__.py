@@ -1,0 +1,9 @@
+"""``python -m repro`` — same surface as the ``repro``/``repro-normalize``
+console scripts, including the ``verify`` subcommand."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,12 @@ Examples::
     repro-normalize data.csv
     repro-normalize data.csv --algorithm tane --target 3nf
     repro-normalize data.csv --interactive --ddl schema.sql --out-dir normalized/
+
+A single subcommand hosts the correctness harness (see
+``docs/TESTING.md``)::
+
+    repro verify --seeds 50
+    python -m repro verify --seeds 200 --repro-out shrunk_repros.py
 """
 
 from __future__ import annotations
@@ -165,6 +171,14 @@ def _interactive_decider(top: int) -> CallbackDecider:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "verify":
+        # The verification harness rides on the same console entry point
+        # (`repro verify --seeds N`); everything else is normalization.
+        from repro.verification.runner import main_verify
+
+        return main_verify(argv[1:])
     args = build_parser().parse_args(argv)
     instances = [
         read_csv(path, delimiter=args.delimiter, has_header=not args.no_header)

@@ -2,21 +2,55 @@
 
 from __future__ import annotations
 
+import bisect
+import itertools
 import random
+from collections.abc import Sequence
 
 from repro.model.instance import RelationInstance
 from repro.model.schema import Relation
 
-__all__ = ["random_instance"]
+__all__ = ["random_instance", "zipf_cumulative_weights"]
+
+
+def zipf_cumulative_weights(domain_size: int, skew: float) -> list[float]:
+    """Cumulative rank-frequency weights ``w_r ∝ 1/(r+1)^skew``.
+
+    ``skew=0`` degenerates to the uniform distribution; larger values
+    concentrate mass on the low ranks (value id 0 is the most frequent).
+    The returned list is normalized so its last entry is 1.0, ready for
+    ``bisect`` sampling against a uniform draw.
+    """
+    if domain_size < 1:
+        raise ValueError("domain_size must be positive")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    weights = [1.0 / (rank + 1) ** skew for rank in range(domain_size)]
+    cumulative = list(itertools.accumulate(weights))
+    total = cumulative[-1]
+    return [value / total for value in cumulative]
+
+
+def _per_column(value, num_columns: int, what: str) -> list:
+    """Broadcast a scalar parameter to one entry per column."""
+    if isinstance(value, (int, float)):
+        return [value] * num_columns
+    values = list(value)
+    if len(values) != num_columns:
+        raise ValueError(
+            f"{what} has {len(values)} entries for {num_columns} columns"
+        )
+    return values
 
 
 def random_instance(
     seed: int,
     num_columns: int,
     num_rows: int,
-    domain_size: int = 3,
+    domain_size: int | Sequence[int] = 3,
     null_rate: float = 0.0,
     name: str = "random",
+    skew: float | Sequence[float] = 0.0,
 ) -> RelationInstance:
     """A deterministic random table.
 
@@ -24,18 +58,33 @@ def random_instance(
     tables interesting for FD discovery: every collision pattern is an
     agree set.  ``null_rate`` injects NULLs to exercise the NULL
     semantics paths.
+
+    ``domain_size`` and ``skew`` accept either a scalar (applied to all
+    columns, the historical behaviour) or one entry per column.  A
+    non-zero ``skew`` draws values Zipf-distributed with that exponent —
+    value ``0`` most frequent — which is what real-world categorical
+    columns look like and what stresses the skew-sensitive paths of the
+    partition engine (one giant cluster plus a long singleton tail).
     """
     if num_columns < 1:
         raise ValueError("need at least one column")
     if not 0.0 <= null_rate <= 1.0:
         raise ValueError("null_rate must be within [0, 1]")
+    domains = _per_column(domain_size, num_columns, "domain_size")
+    skews = _per_column(skew, num_columns, "skew")
     rng = random.Random(seed)
-    columns_data = [
-        [
-            None if rng.random() < null_rate else rng.randrange(domain_size)
-            for _ in range(num_rows)
-        ]
-        for _ in range(num_columns)
-    ]
+    columns_data: list[list] = []
+    for col in range(num_columns):
+        if skews[col]:
+            cumulative = zipf_cumulative_weights(domains[col], skews[col])
+            draw = lambda: bisect.bisect_left(cumulative, rng.random())  # noqa: E731
+        else:
+            draw = lambda: rng.randrange(domains[col])  # noqa: E731
+        columns_data.append(
+            [
+                None if rng.random() < null_rate else draw()
+                for _ in range(num_rows)
+            ]
+        )
     relation = Relation(name, tuple(f"c{i}" for i in range(num_columns)))
     return RelationInstance(relation, columns_data)

@@ -1,0 +1,64 @@
+"""Differential & metamorphic verification of the Normalize pipeline.
+
+The paper's guarantees — completeness and minimality of the discovered
+FD set (the precondition of the optimized closure, Lemma 1), key
+derivation (Lemma 2), lossless decomposition (Lemma 3) — are invariants
+that silently break under aggressive optimization.  This subsystem
+makes them continuously executable:
+
+* :mod:`~repro.verification.planted` — adversarial instance generation
+  with a planted (known-to-hold) FD cover and key,
+* :mod:`~repro.verification.differential` — cross-algorithm diffing of
+  FD and UCC discoverers plus definition-level semantic checks,
+* :mod:`~repro.verification.metamorphic` — closure agreement and
+  idempotence, normal-form compliance of the pipeline output, lossless
+  join, dependency-preservation accounting,
+* :mod:`~repro.verification.shrinker` — ddmin-style minimization of
+  failing instances into ready-to-paste pytest reproductions,
+* :mod:`~repro.verification.runner` — seeded campaigns behind
+  ``repro verify --seeds N`` and the ``@pytest.mark.fuzz`` suite.
+
+See ``docs/TESTING.md`` for the oracle design and workflows.
+"""
+
+from repro.verification.differential import (
+    Disagreement,
+    canonical_fds,
+    fd_holds_in,
+    run_fd_differential,
+    run_ucc_differential,
+    semantic_fd_errors,
+)
+from repro.verification.metamorphic import (
+    PropertyViolation,
+    check_closure_properties,
+    check_pipeline_properties,
+    lost_dependencies,
+)
+from repro.verification.planted import PlantedInstance, plant_instance
+from repro.verification.runner import (
+    VerificationFailure,
+    VerificationReport,
+    verify_seeds,
+)
+from repro.verification.shrinker import shrink_instance, to_pytest_repro
+
+__all__ = [
+    "Disagreement",
+    "PlantedInstance",
+    "PropertyViolation",
+    "VerificationFailure",
+    "VerificationReport",
+    "canonical_fds",
+    "check_closure_properties",
+    "check_pipeline_properties",
+    "fd_holds_in",
+    "lost_dependencies",
+    "plant_instance",
+    "run_fd_differential",
+    "run_ucc_differential",
+    "semantic_fd_errors",
+    "shrink_instance",
+    "to_pytest_repro",
+    "verify_seeds",
+]

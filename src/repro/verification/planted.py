@@ -1,0 +1,191 @@
+"""Planted-FD instance generation: tables with a known ground truth.
+
+Pure random tables (:func:`repro.datagen.random_tables.random_instance`)
+exercise the discoverers, but their true FD set is only known *after*
+running an oracle — any bug shared by generator-side reasoning and the
+oracle goes unseen.  A *planted* instance turns this around: first draw
+a random acyclic FD cover and (optionally) a key, then materialize a
+table that **satisfies every planted dependency by construction**:
+
+* free columns draw values independently, per-column domain sizes and
+  Zipf skew included, optionally with NULLs,
+* a planted key is materialized as mixed-radix digits of the row index,
+  so its column set is unique no matter what the other columns do,
+* each derived column ``A`` with planted LHS ``X`` maps every distinct
+  ``X``-value combination to a randomly chosen codomain value through a
+  memo table — ``X → A`` therefore holds *exactly*.
+
+LHS attributes are always drawn from strictly smaller column indices,
+which keeps the cover acyclic and the materialization well-defined in a
+single left-to-right pass.
+
+What the planted cover guarantees (and what it does not): every planted
+FD **holds** in the data and every planted key **is unique**; the data
+may additionally satisfy accidental dependencies (small domains collide)
+and a planted FD may turn out non-minimal (a subset of its LHS can
+accidentally determine the RHS).  The verification harness therefore
+checks *containment* — the discovered minimal FDs must imply every
+planted FD, and some discovered UCC must be a subset of the planted key
+— rather than set equality.  Exact equality is covered separately by
+the definitional oracle (:mod:`repro.verification.differential`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.model.attributes import iter_bits, mask_of
+from repro.model.fd import FD, FDSet
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+
+__all__ = ["PlantedInstance", "plant_instance"]
+
+
+@dataclass(frozen=True, slots=True)
+class PlantedInstance:
+    """A materialized table plus the dependencies planted into it."""
+
+    instance: RelationInstance
+    #: the planted FD cover; every contained FD holds in ``instance``
+    cover: FDSet
+    #: bitmask of the planted unique column combination (0 = none planted)
+    key_mask: int
+    #: seed the table was grown from (for reproduction messages)
+    seed: int
+
+    def planted_fds(self) -> list[FD]:
+        """The planted cover as single-RHS FDs (stable order)."""
+        out: list[FD] = []
+        for lhs, rhs in sorted(self.cover.items()):
+            for attr in iter_bits(rhs):
+                out.append(FD(lhs, 1 << attr))
+        return out
+
+
+def plant_instance(
+    seed: int,
+    num_columns: int = 5,
+    num_rows: int = 30,
+    max_lhs_size: int = 2,
+    derived_rate: float = 0.5,
+    null_rate: float = 0.0,
+    plant_key: bool = True,
+    max_domain: int = 4,
+    max_skew: float = 1.5,
+    name: str = "planted",
+) -> PlantedInstance:
+    """Materialize a random table with a planted FD cover and key.
+
+    ``derived_rate`` is the probability that a column (other than the
+    first) becomes functionally derived from earlier columns;
+    ``max_lhs_size`` bounds planted LHS widths.  ``null_rate`` injects
+    NULLs into *free, non-key* columns only, so planted dependencies
+    hold under both NULL semantics (NULL never appears in a derived
+    column, and a NULL on an LHS at worst shrinks the agreeing groups).
+    """
+    if num_columns < 1:
+        raise ValueError("need at least one column")
+    if num_rows < 0:
+        raise ValueError("num_rows must be non-negative")
+    if max_lhs_size < 1:
+        raise ValueError("max_lhs_size must be positive")
+    rng = random.Random(seed)
+
+    # --- structural draw: key columns, derived columns, planted LHSs ---
+    key_columns: list[int] = []
+    if plant_key and num_rows > 0:
+        key_width = rng.randint(1, min(2, num_columns))
+        key_columns = sorted(rng.sample(range(num_columns), key_width))
+    key_set = set(key_columns)
+
+    lhs_of: dict[int, int] = {}  # derived column -> planted LHS mask
+    for col in range(1, num_columns):
+        if col in key_set:
+            continue  # key digits must stay free to guarantee uniqueness
+        if rng.random() >= derived_rate:
+            continue
+        width = rng.randint(1, min(max_lhs_size, col))
+        lhs_of[col] = mask_of(rng.sample(range(col), width))
+
+    # --- materialization, one left-to-right pass ----------------------
+    columns_data: list[list] = [[] for _ in range(num_columns)]
+    key_radix = _key_radix(len(key_columns), num_rows, max_domain)
+    domains = [rng.randint(2, max_domain) for _ in range(num_columns)]
+    skews = [
+        rng.uniform(0.5, max_skew) if rng.random() < 0.5 else 0.0
+        for _ in range(num_columns)
+    ]
+    memos: dict[int, dict[tuple, object]] = {col: {} for col in lhs_of}
+
+    for row in range(num_rows):
+        values: list = [None] * num_columns
+        for col in range(num_columns):
+            if col in key_set:
+                digit_index = key_columns.index(col)
+                values[col] = _key_digit(row, digit_index, key_radix)
+            elif col in lhs_of:
+                witness = tuple(values[i] for i in iter_bits(lhs_of[col]))
+                memo = memos[col]
+                if witness not in memo:
+                    memo[witness] = rng.randrange(domains[col])
+                values[col] = memo[witness]
+            else:
+                if null_rate and rng.random() < null_rate:
+                    values[col] = None
+                else:
+                    values[col] = _draw(rng, domains[col], skews[col])
+        for col in range(num_columns):
+            columns_data[col].append(values[col])
+
+    relation = Relation(name, tuple(f"c{i}" for i in range(num_columns)))
+    instance = RelationInstance(relation, columns_data)
+
+    cover = FDSet(num_columns)
+    for col, lhs in lhs_of.items():
+        cover.add_masks(lhs, 1 << col)
+    return PlantedInstance(
+        instance=instance,
+        cover=cover,
+        key_mask=mask_of(key_columns),
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _key_radix(key_width: int, num_rows: int, max_domain: int) -> int:
+    """Per-digit radix so ``key_width`` digits can address every row.
+
+    The radix is at least ``max_domain`` so key columns look like normal
+    categorical columns on small tables, and grows as needed so that
+    ``radix ** key_width >= num_rows``.
+    """
+    if key_width == 0:
+        return 0
+    radix = max(max_domain, 2)
+    while radix**key_width < num_rows:
+        radix += 1
+    return radix
+
+
+def _key_digit(row: int, digit_index: int, radix: int) -> int:
+    return (row // radix**digit_index) % radix
+
+
+def _draw(rng: random.Random, domain: int, skew: float) -> int:
+    """One value draw: uniform, or Zipf-ish via inverse rank weighting."""
+    if not skew:
+        return rng.randrange(domain)
+    # Rejection-free: walk cumulative 1/(r+1)^skew weights.
+    weights = [1.0 / (rank + 1) ** skew for rank in range(domain)]
+    total = sum(weights)
+    target = rng.random() * total
+    acc = 0.0
+    for rank, weight in enumerate(weights):
+        acc += weight
+        if target <= acc:
+            return rank
+    return domain - 1

@@ -203,3 +203,39 @@ class TestCheckMode:
         exit_code = main([str(path), "--check", "--algorithm", "bruteforce"])
         assert exit_code == 0
         assert "conforms to BCNF" in capsys.readouterr().out
+
+
+class TestVerifySubcommand:
+    def test_verify_passes_on_clean_seeds(self, capsys):
+        exit_code = main(["verify", "--seeds", "3", "--quiet"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "all passed" in out
+
+    def test_verify_reports_progress_and_counts(self, capsys):
+        exit_code = main(["verify", "--seeds", "2"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "verified 2 seeds" in out
+
+    def test_verify_repro_out_untouched_when_green(self, tmp_path, capsys):
+        target = tmp_path / "repros.py"
+        exit_code = main(
+            ["verify", "--seeds", "2", "--quiet", "--repro-out", str(target)]
+        )
+        assert exit_code == 0
+        assert not target.exists()
+
+    def test_python_dash_m_entry(self):
+        import subprocess
+        import sys as _sys
+
+        completed = subprocess.run(
+            [_sys.executable, "-m", "repro", "verify", "--seeds", "1", "--quiet"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=".",
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "all passed" in completed.stdout

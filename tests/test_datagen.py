@@ -215,3 +215,76 @@ class TestProfiles:
             rel.mask_of(["route"]),
             rel.mask_of(["origin", "dest", "origin_city", "distance"]),
         )
+
+
+class TestRandomInstanceExtensions:
+    """Per-column domains and Zipf skew (verification-harness satellites)."""
+
+    def test_scalar_domain_matches_per_column_broadcast(self):
+        from repro.datagen.random_tables import random_instance
+
+        scalar = random_instance(7, 3, 40, domain_size=4)
+        broadcast = random_instance(7, 3, 40, domain_size=[4, 4, 4])
+        assert list(scalar.iter_rows()) == list(broadcast.iter_rows())
+
+    def test_per_column_domains_respected(self):
+        from repro.datagen.random_tables import random_instance
+
+        instance = random_instance(1, 3, 200, domain_size=[2, 5, 9])
+        for col, bound in enumerate((2, 5, 9)):
+            values = {v for v in instance.column(col) if v is not None}
+            assert values <= set(range(bound))
+        # the wide domain must actually be exercised
+        assert len(set(instance.column(2))) > 5
+
+    def test_zipf_skew_concentrates_low_ranks(self):
+        from repro.datagen.random_tables import random_instance
+
+        instance = random_instance(5, 1, 500, domain_size=6, skew=2.0)
+        values = instance.column(0)
+        counts = [values.count(v) for v in range(6)]
+        assert counts[0] > counts[-1]
+        assert counts[0] > 500 // 6  # clearly above the uniform share
+
+    def test_per_column_skew(self):
+        from repro.datagen.random_tables import random_instance
+
+        instance = random_instance(
+            11, 2, 400, domain_size=[5, 5], skew=[0.0, 3.0]
+        )
+        uniform = [instance.column(0).count(v) for v in range(5)]
+        skewed = [instance.column(1).count(v) for v in range(5)]
+        assert max(skewed) > max(uniform)
+
+    def test_zipf_cumulative_weights_shape(self):
+        from repro.datagen.random_tables import zipf_cumulative_weights
+
+        weights = zipf_cumulative_weights(4, 1.0)
+        assert len(weights) == 4
+        assert weights == sorted(weights)
+        assert abs(weights[-1] - 1.0) < 1e-12
+        uniform = zipf_cumulative_weights(4, 0.0)
+        assert abs(uniform[0] - 0.25) < 1e-12
+
+    def test_parameter_validation(self):
+        import pytest as _pytest
+
+        from repro.datagen.random_tables import (
+            random_instance,
+            zipf_cumulative_weights,
+        )
+
+        with _pytest.raises(ValueError, match="entries for"):
+            random_instance(0, 3, 5, domain_size=[2, 2])
+        with _pytest.raises(ValueError, match="entries for"):
+            random_instance(0, 2, 5, skew=[1.0])
+        with _pytest.raises(ValueError, match="positive"):
+            zipf_cumulative_weights(0, 1.0)
+        with _pytest.raises(ValueError, match="non-negative"):
+            zipf_cumulative_weights(3, -1.0)
+
+    def test_nulls_still_injected_with_skew(self):
+        from repro.datagen.random_tables import random_instance
+
+        instance = random_instance(3, 2, 300, domain_size=3, null_rate=0.4, skew=1.5)
+        assert any(v is None for v in instance.column(0))

@@ -157,3 +157,86 @@ class TestLemma3:
                 )
             )
         assert sorted(rebuilt) == sorted(instance.iter_rows())
+
+
+class TestDecompositionEdgeCases:
+    """Satellite coverage: the degenerate shapes a decomposition can take."""
+
+    def test_single_attribute_lhs_violation(self):
+        """A violating FD with |LHS| = 1 — the narrowest possible split."""
+        from repro.core.normalize import normalize
+        from repro.model.instance import RelationInstance
+        from repro.model.schema import Relation
+
+        instance = RelationInstance.from_rows(
+            Relation("orders", ("order_id", "customer", "customer_city")),
+            [
+                (1, "ada", "london"),
+                (2, "ada", "london"),
+                (3, "bob", "paris"),
+                (4, "bob", "paris"),
+                (5, "eve", "zurich"),
+            ],
+        )
+        result = normalize(instance, algorithm="bruteforce")
+        assert len(result.steps) == 1
+        step = result.steps[0]
+        assert step.lhs == ("customer",)
+        r2 = result.instances[step.r2]
+        assert r2.relation.primary_key == ("customer",)
+        assert r2.num_rows == 3  # deduplicated customer -> city pairs
+        rebuilt = result.reconstruct("orders")
+        assert sorted(rebuilt.iter_rows()) == sorted(instance.iter_rows())
+
+    def test_all_key_relation_left_untouched(self):
+        """A relation whose every attribute set is unique (all-key) has no
+        violating FDs: normalization must be the identity."""
+        from repro.core.normalize import normalize
+        from repro.model.instance import RelationInstance
+        from repro.model.schema import Relation
+
+        instance = RelationInstance.from_rows(
+            Relation("allkey", ("a", "b", "c")),
+            [(0, 1, 2), (1, 2, 0), (2, 0, 1)],
+        )
+        result = normalize(instance, algorithm="bruteforce")
+        assert result.steps == []
+        assert list(result.instances) == ["allkey"]
+        out = result.instances["allkey"]
+        assert list(out.iter_rows()) == list(instance.iter_rows())
+
+    def test_cascading_splits_down_to_two_column_relations(self):
+        """A functional chain c0 -> c1 -> c2 -> c3 must decompose all the
+        way down to 2-column relations, losslessly."""
+        from repro.core.normalize import normalize
+        from repro.model.instance import RelationInstance
+        from repro.model.schema import Relation
+
+        rows = [(i, i // 2, i // 4, i // 8) for i in range(16)]
+        instance = RelationInstance.from_rows(
+            Relation("chain", ("c0", "c1", "c2", "c3")), rows
+        )
+        result = normalize(instance, algorithm="bruteforce")
+        assert len(result.steps) == 2
+        assert sorted(part.arity for part in result.instances.values()) == [
+            2,
+            2,
+            2,
+        ]
+        rebuilt = result.reconstruct("chain")
+        assert sorted(rebuilt.iter_rows()) == sorted(rows)
+        # every part must carry a primary key so the chain of FKs resolves
+        for part in result.instances.values():
+            assert part.relation.primary_key is not None
+
+    def test_repeated_decomposition_conforms_and_is_audited_clean(self):
+        from repro.verification.metamorphic import check_pipeline_properties
+        from repro.model.instance import RelationInstance
+        from repro.model.schema import Relation
+
+        rows = [(i, i // 2, i // 4, i // 8) for i in range(16)]
+        instance = RelationInstance.from_rows(
+            Relation("chain", ("c0", "c1", "c2", "c3")), rows
+        )
+        violations, _ = check_pipeline_properties(instance, target="bcnf")
+        assert not violations, [v.describe() for v in violations]

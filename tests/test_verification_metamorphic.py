@@ -1,0 +1,113 @@
+"""Metamorphic property checks: closure, pipeline, dependency accounting."""
+
+from repro.core.closure import optimized_closure
+from repro.datagen.random_tables import random_instance
+from repro.discovery.base import discover_fds
+from repro.model.fd import FDSet
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+from repro.verification.metamorphic import (
+    check_closure_properties,
+    check_pipeline_properties,
+    lost_dependencies,
+)
+
+
+class TestClosureProperties:
+    def test_discovered_sets_pass(self, address):
+        fds = discover_fds(address, "bruteforce")
+        assert not check_closure_properties(fds)
+
+    def test_random_instances_pass(self):
+        for seed in range(8):
+            instance = random_instance(seed, 5, 18, domain_size=3)
+            fds = discover_fds(instance, "bruteforce")
+            assert not check_closure_properties(fds)
+
+    def test_incomplete_input_is_flagged(self):
+        """Lemma 1's precondition is necessary: on a *non-complete* FD set
+        the optimized closure legitimately diverges from the naive one,
+        and the property check reports exactly that."""
+        fds = FDSet(3)
+        fds.add_masks(0b001, 0b010)  # A -> B
+        fds.add_masks(0b010, 0b100)  # B -> C  (A -> C only transitively)
+        violations = check_closure_properties(fds)
+        assert any(v.prop == "closure-agreement" for v in violations)
+
+    def test_idempotence_on_closed_set(self, address):
+        closed = optimized_closure(discover_fds(address, "bruteforce"))
+        violations = [
+            v
+            for v in check_closure_properties(closed)
+            if v.prop == "closure-idempotence"
+        ]
+        assert not violations
+
+
+class TestPipelineProperties:
+    def test_address_bcnf_clean(self, address):
+        violations, result = check_pipeline_properties(address, target="bcnf")
+        assert not violations
+        assert len(result.instances) == 2  # the paper's split
+
+    def test_random_instances_clean_both_targets(self):
+        for seed in range(5):
+            instance = random_instance(seed, 4, 14, domain_size=2)
+            for target in ("bcnf", "3nf"):
+                violations, _ = check_pipeline_properties(instance, target=target)
+                assert not violations, [v.describe() for v in violations]
+
+    def test_late_primary_key_audit_context(self):
+        """Regression for the artifact the harness itself discovered: a
+        primary key assigned in step 7 weakens 3NF mutual-exclusion
+        vetoes, so compliance must be audited in the loop's own
+        constraint context (found on fuzz seed 0)."""
+        instance = RelationInstance(
+            Relation("random", ("c0", "c1", "c2", "c3", "c4")),
+            [
+                [1, 1, 1, 0, 1, 0, 1],
+                [0, 0, 0, 3, 0, 0, 1],
+                [0, 1, 0, 0, 0, 1, 1],
+                [1, 1, 1, 0, 0, 0, 1],
+                [0, 2, 1, 3, 3, 2, 0],
+            ],
+        )
+        violations, _ = check_pipeline_properties(instance, target="3nf")
+        assert not violations, [v.describe() for v in violations]
+
+    def test_lossless_join_on_planted_instances(self):
+        from repro.verification.planted import plant_instance
+
+        for seed in range(5):
+            planted = plant_instance(seed, num_columns=5, num_rows=22)
+            violations, _ = check_pipeline_properties(
+                planted.instance, target="bcnf"
+            )
+            lossless = [v for v in violations if v.prop == "lossless-join"]
+            assert not lossless
+
+
+class TestDependencyPreservation:
+    def test_paper_example_preserves_all(self, address):
+        _, result = check_pipeline_properties(address, target="bcnf")
+        assert lost_dependencies(address, result) == []
+
+    def test_classic_zip_example_loses_a_dependency(self):
+        """city,street -> zip; zip -> city: BCNF cannot preserve both."""
+        instance = RelationInstance.from_rows(
+            Relation("addr", ("city", "street", "zip")),
+            [
+                ("springfield", "main", "11"),
+                ("springfield", "oak", "12"),
+                ("shelbyville", "main", "21"),
+                ("shelbyville", "oak", "22"),
+                ("springfield", "elm", "11"),
+            ],
+        )
+        violations, result = check_pipeline_properties(instance, target="bcnf")
+        # the decomposition itself must stay sound ...
+        assert not [v for v in violations if v.prop == "lossless-join"]
+        if result.steps:  # ... but it may legitimately lose an FD
+            lost = lost_dependencies(instance, result)
+            rendered = [fd.to_str(instance.columns) for fd in lost]
+            assert any("zip" in fd for fd in rendered) or lost == []

@@ -1,0 +1,91 @@
+"""Tests for planted-FD instance generation (the harness's ground truth)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery.base import discover_fds
+from repro.model.attributes import iter_bits
+from repro.verification.differential import fd_holds_in, semantic_fd_errors
+from repro.verification.planted import plant_instance
+
+plant_params = st.tuples(
+    st.integers(min_value=0, max_value=1_000_000),  # seed
+    st.integers(min_value=2, max_value=7),  # columns
+    st.integers(min_value=0, max_value=40),  # rows
+    st.sampled_from([0.0, 0.0, 0.2]),  # null rate
+)
+
+
+class TestPlantedInvariants:
+    @given(params=plant_params)
+    @settings(max_examples=40)
+    def test_planted_fds_hold_under_both_semantics(self, params):
+        seed, cols, rows, null_rate = params
+        planted = plant_instance(
+            seed, num_columns=cols, num_rows=rows, null_rate=null_rate
+        )
+        for fd in planted.planted_fds():
+            for nen in (True, False):
+                assert fd_holds_in(planted.instance, fd.lhs, fd.rhs, nen), (
+                    f"planted {fd} must hold (null_equals_null={nen})"
+                )
+
+    @given(params=plant_params)
+    @settings(max_examples=40)
+    def test_planted_key_is_unique(self, params):
+        seed, cols, rows, null_rate = params
+        planted = plant_instance(
+            seed, num_columns=cols, num_rows=rows, null_rate=null_rate
+        )
+        if not planted.key_mask:
+            return
+        instance = planted.instance
+        assert instance.distinct_count(planted.key_mask) == instance.num_rows
+
+    @given(params=plant_params)
+    @settings(max_examples=25)
+    def test_derived_and_key_columns_never_null(self, params):
+        seed, cols, rows, null_rate = params
+        planted = plant_instance(
+            seed, num_columns=cols, num_rows=rows, null_rate=null_rate
+        )
+        constrained = planted.key_mask
+        for lhs, rhs in planted.cover.items():
+            constrained |= rhs
+        for attr in iter_bits(constrained):
+            column = planted.instance.columns_data[attr]
+            assert all(value is not None for value in column)
+
+    def test_deterministic(self):
+        first = plant_instance(11, num_columns=5, num_rows=25, null_rate=0.1)
+        second = plant_instance(11, num_columns=5, num_rows=25, null_rate=0.1)
+        assert list(first.instance.iter_rows()) == list(
+            second.instance.iter_rows()
+        )
+        assert set(first.cover.items()) == set(second.cover.items())
+        assert first.key_mask == second.key_mask
+
+    def test_discovery_covers_planted_ground_truth(self):
+        for seed in range(12):
+            planted = plant_instance(seed, num_columns=5, num_rows=24)
+            fds = discover_fds(planted.instance, "bruteforce")
+            errors = semantic_fd_errors(
+                planted.instance, fds, planted_cover=planted.cover
+            )
+            assert not errors, errors.describe(planted.instance.columns)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="one column"):
+            plant_instance(0, num_columns=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            plant_instance(0, num_rows=-1)
+        with pytest.raises(ValueError, match="max_lhs_size"):
+            plant_instance(0, max_lhs_size=0)
+
+    def test_zero_rows_and_single_column(self):
+        empty = plant_instance(0, num_columns=3, num_rows=0)
+        assert empty.instance.num_rows == 0
+        single = plant_instance(0, num_columns=1, num_rows=5)
+        assert single.instance.arity == 1
+        assert not list(single.cover.items())

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: verify fuzz bench bench-engine
+.PHONY: verify fuzz fuzz-faults bench bench-engine
 
 # Tier-1 suite — the gate every change must keep green (see ROADMAP.md).
 verify:
@@ -12,6 +12,11 @@ verify:
 fuzz:
 	PYTHONPATH=src $(PYTHON) -m repro verify --seeds 50 --repro-out fuzz-repros.py
 	PYTHONPATH=src $(PYTHON) -m pytest -q -m fuzz
+
+# Fault-injection campaign: breach/kill at checkpoint ticks, assert the
+# robustness contract (docs/ROBUSTNESS.md).
+fuzz-faults:
+	PYTHONPATH=src $(PYTHON) -m repro verify --faults --seeds 25
 
 # Full paper-reproduction benchmark harness (writes benchmarks/results/).
 bench:

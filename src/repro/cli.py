@@ -31,8 +31,17 @@ from repro.core.selection import AutoDecider, CallbackDecider
 from repro.io.csv_io import read_csv, write_csv
 from repro.io.ddl import schema_to_ddl
 from repro.model.instance import RelationInstance
+from repro.runtime.errors import BudgetExceeded, CheckpointError, InputError
+from repro.runtime.governor import Budget, parse_duration, parse_memory
 
 __all__ = ["build_parser", "main"]
+
+#: structured exit codes of the CLI boundary (documented in
+#: docs/ROBUSTNESS.md): bad input data/arguments, a propagated budget
+#: breach (only with --no-degrade), and a checkpoint defect.
+EXIT_INPUT_ERROR = 2
+EXIT_BUDGET_EXCEEDED = 3
+EXIT_CHECKPOINT_ERROR = 4
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -133,6 +142,65 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="export the full normalization result (schema, log, stats) as JSON",
     )
+    governance = parser.add_argument_group("resource governance")
+    governance.add_argument(
+        "--deadline",
+        metavar="DURATION",
+        help="wall-clock budget for the whole run, e.g. 5s, 250ms, 2m",
+    )
+    governance.add_argument(
+        "--memory-limit",
+        metavar="SIZE",
+        help="peak resident-memory ceiling, e.g. 512MB, 2gb",
+    )
+    governance.add_argument(
+        "--max-candidates",
+        type=int,
+        metavar="N",
+        help="cap on discovery candidate work units (lattice nodes, "
+        "partition intersections)",
+    )
+    governance.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="on a budget breach, fail (exit 3) instead of stepping down "
+        "the degradation ladder",
+    )
+    governance.add_argument(
+        "--sample-rows",
+        type=int,
+        default=512,
+        metavar="N",
+        help="row-sample size of the degradation ladder's sampled rung "
+        "(default: 512)",
+    )
+    governance.add_argument(
+        "--approx-error",
+        type=float,
+        default=0.0,
+        metavar="EPS",
+        help="g3 error tolerated when verifying sampled FDs against the "
+        "full data (default: 0.0 = keep only exactly-holding FDs)",
+    )
+    governance.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="journal pipeline progress to this file after every "
+        "discovery and decision (atomic writes)",
+    )
+    governance.add_argument(
+        "--resume",
+        metavar="FILE",
+        help="resume a killed run from its checkpoint file (implies "
+        "--checkpoint FILE unless given separately)",
+    )
+    governance.add_argument(
+        "--csv-errors",
+        default="strict",
+        choices=("strict", "pad", "skip"),
+        help="how to treat malformed CSV rows: strict = fail (default), "
+        "pad = fill/truncate ragged rows, skip = drop them",
+    )
     return parser
 
 
@@ -171,6 +239,12 @@ def _interactive_decider(top: int) -> CallbackDecider:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Console entry point with the structured error boundary.
+
+    Deliberate failures map to stable exit codes instead of tracebacks:
+    bad input → 2, propagated budget breach → 3, checkpoint defect → 4.
+    Anything else escaping is a genuine bug and keeps its traceback.
+    """
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "verify":
@@ -179,9 +253,28 @@ def main(argv: list[str] | None = None) -> int:
         from repro.verification.runner import main_verify
 
         return main_verify(argv[1:])
+    try:
+        return _main_normalize(argv)
+    except BudgetExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BUDGET_EXCEEDED
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CHECKPOINT_ERROR
+    except InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+
+
+def _main_normalize(argv: list[str]) -> int:
     args = build_parser().parse_args(argv)
     instances = [
-        read_csv(path, delimiter=args.delimiter, has_header=not args.no_header)
+        read_csv(
+            path,
+            delimiter=args.delimiter,
+            has_header=not args.no_header,
+            on_error=args.csv_errors,
+        )
         for path in args.files
     ]
 
@@ -234,14 +327,40 @@ def main(argv: list[str] | None = None) -> int:
         print(four.to_str())
         return 0
 
+    budget = None
+    if args.deadline or args.memory_limit or args.max_candidates:
+        budget = Budget(
+            deadline_seconds=(
+                parse_duration(args.deadline) if args.deadline else None
+            ),
+            max_memory_bytes=(
+                parse_memory(args.memory_limit) if args.memory_limit else None
+            ),
+            max_candidates=args.max_candidates,
+        )
+
+    resume_state = None
+    checkpoint_path = args.checkpoint
+    if args.resume:
+        from repro.runtime.checkpointing import load_state
+
+        resume_state = load_state(args.resume)
+        if checkpoint_path is None:
+            checkpoint_path = args.resume
+
     normalizer = Normalizer(
         algorithm=algorithm,
         decider=decider,
         target=args.target,
         closure_algorithm=args.closure,
         max_lhs_size=args.max_lhs_size,
+        budget=budget,
+        degrade=not args.no_degrade,
+        sample_rows=args.sample_rows,
+        approx_error=args.approx_error,
+        checkpoint_path=checkpoint_path,
     )
-    result = normalizer.run(instances)
+    result = normalizer.run(instances, resume_state=resume_state)
 
     if args.save_fds:
         from repro.io.serialization import save_fdset

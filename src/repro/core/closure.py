@@ -31,6 +31,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.model.attributes import iter_bits
 from repro.model.fd import FDSet
+from repro.runtime.governor import checkpoint
 from repro.structures.settrie import SetTrie
 
 __all__ = [
@@ -48,6 +49,7 @@ def naive_closure(fds: FDSet) -> FDSet:
     while something_changed:
         something_changed = False
         for fd in pairs:
+            checkpoint("closure-naive")
             for other in pairs:
                 if other[0] & ~(fd[0] | fd[1]):
                     continue  # other's LHS not contained in this FD
@@ -69,6 +71,7 @@ def improved_closure(fds: FDSet, n_workers: int = 1) -> FDSet:
     all_attrs = (1 << fds.num_attributes) - 1
 
     def extend(fd: list[int]) -> None:
+        checkpoint("closure-improved")
         something_changed = True
         while something_changed:
             something_changed = False
@@ -93,6 +96,7 @@ def optimized_closure(fds: FDSet, n_workers: int = 1) -> FDSet:
     all_attrs = (1 << fds.num_attributes) - 1
 
     def extend(fd: list[int]) -> None:
+        checkpoint("closure-optimized")
         for attr in iter_bits(all_attrs & ~(fd[0] | fd[1])):
             if tries[attr] and tries[attr].contains_subset_of(fd[0]):
                 fd[1] |= 1 << attr

@@ -77,6 +77,9 @@ class NormalizationResult:
     #: the minimal FDs discovered per *input* relation (before closure);
     #: reusable via PrecomputedFDs / save_fdset
     discovered_fds: dict = field(default_factory=dict)
+    #: fidelity report of a resource-governed run (None for ungoverned
+    #: runs); see :class:`repro.runtime.degrade.FidelityReport`
+    fidelity: object = None
 
     # ------------------------------------------------------------------
     # Views
@@ -110,6 +113,9 @@ class NormalizationResult:
         lines.append(
             f"values: {self.original_values} -> {self.total_values}"
         )
+        if self.fidelity is not None:
+            lines.append("")
+            lines.append(self.fidelity.to_str())
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

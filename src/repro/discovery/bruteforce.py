@@ -19,6 +19,8 @@ from repro.discovery.hitting_sets import minimal_hitting_sets
 from repro.model.attributes import full_mask
 from repro.model.fd import FDSet
 from repro.model.instance import RelationInstance
+from repro.runtime.errors import BudgetExceeded
+from repro.runtime.governor import checkpoint
 from repro.structures.partitions import column_value_ids
 
 __all__ = ["BruteForceFD", "distinct_agree_sets"]
@@ -47,6 +49,7 @@ def distinct_agree_sets(
     everything = full_mask(arity)
     agree_sets: set[int] = set()
     for left in range(rows):
+        checkpoint("bruteforce-pairs", units=max(rows - left - 1, 1))
         left_values = [probes[col][left] for col in range(arity)]
         for right in range(left + 1, rows):
             agree = 0
@@ -68,15 +71,22 @@ class BruteForceFD(FDAlgorithm):
         result = FDSet(arity)
         if arity == 0:
             return result
-        agree_sets = distinct_agree_sets(instance, self.null_equals_null)
-        everything = full_mask(arity)
-        for attr in range(arity):
-            attr_bit = 1 << attr
-            universe = everything & ~attr_bit
-            difference_sets = [
-                ~agree & universe for agree in agree_sets if not agree & attr_bit
-            ]
-            for lhs in minimal_hitting_sets(difference_sets, universe):
-                if self._within_lhs_bound(lhs):
-                    result.add_masks(lhs, attr_bit)
+        try:
+            agree_sets = distinct_agree_sets(instance, self.null_equals_null)
+            everything = full_mask(arity)
+            for attr in range(arity):
+                checkpoint("bruteforce-rhs")
+                attr_bit = 1 << attr
+                universe = everything & ~attr_bit
+                difference_sets = [
+                    ~agree & universe
+                    for agree in agree_sets
+                    if not agree & attr_bit
+                ]
+                for lhs in minimal_hitting_sets(difference_sets, universe):
+                    if self._within_lhs_bound(lhs):
+                        result.add_masks(lhs, attr_bit)
+        except BudgetExceeded as exc:
+            # FDs for completed RHS attributes are exact and minimal.
+            raise exc.attach_partial(result, exact=True)
         return result

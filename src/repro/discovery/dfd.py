@@ -21,6 +21,8 @@ from repro.discovery.lattice import find_minimal_satisfying
 from repro.model.attributes import full_mask
 from repro.model.fd import FDSet
 from repro.model.instance import RelationInstance
+from repro.runtime.errors import BudgetExceeded
+from repro.runtime.governor import checkpoint
 from repro.structures.partitions import PLICache
 
 __all__ = ["DFD"]
@@ -58,6 +60,7 @@ class DFD(FDAlgorithm):
         self.last_cache_stats = cache.stats
         everything = full_mask(arity)
         for rhs_attr in range(arity):
+            checkpoint("dfd-rhs")
             rhs_bit = 1 << rhs_attr
             universe = everything & ~rhs_bit
             probe = cache.probe(rhs_attr)
@@ -65,12 +68,22 @@ class DFD(FDAlgorithm):
             def holds(lhs: int) -> bool:
                 return cache.get(lhs).refines_column(probe)
 
-            minimal_lhss = find_minimal_satisfying(
-                holds,
-                universe,
-                seed=self.seed + rhs_attr,
-                random_walks=self.random_walks,
-            )
+            try:
+                minimal_lhss = find_minimal_satisfying(
+                    holds,
+                    universe,
+                    seed=self.seed + rhs_attr,
+                    random_walks=self.random_walks,
+                )
+            except BudgetExceeded as exc:
+                # Completed RHS attributes are exact; the in-flight one
+                # contributes the minimal LHSs its lattice search pinned.
+                if isinstance(exc.partial, list):
+                    for lhs in exc.partial:
+                        if self._within_lhs_bound(lhs):
+                            result.add_masks(lhs, rhs_bit)
+                exc.partial = None
+                raise exc.attach_partial(result, exact=True)
             for lhs in minimal_lhss:
                 if self._within_lhs_bound(lhs):
                     result.add_masks(lhs, rhs_bit)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 from repro.model.attributes import iter_bits
+from repro.runtime.governor import checkpoint
 
 __all__ = ["minimal_hitting_sets"]
 
@@ -68,6 +69,7 @@ def _minimize_inputs(
 
 
 def _extend(current: int, sets: Sequence[int], found: set[int]) -> None:
+    checkpoint("hitting-sets")
     unhit = next((mask for mask in sets if not mask & current), None)
     if unhit is None:
         found.add(current)

@@ -15,6 +15,8 @@ from repro.discovery.hyfd.sampler import Sampler
 from repro.discovery.hyfd.validation import validate_tree
 from repro.model.fd import FDSet
 from repro.model.instance import RelationInstance
+from repro.runtime.errors import BudgetExceeded
+from repro.runtime.governor import suspended
 from repro.structures.partitions import PLICache
 
 __all__ = ["HyFD"]
@@ -58,19 +60,31 @@ class HyFD(FDAlgorithm):
             max_partitions=self.max_cached_partitions,
         )
         self.last_cache_stats = cache.stats
-        sampler = Sampler(instance, cache)
-        sampler.initial_rounds()
-        tree = build_positive_cover(
-            arity, sampler.negative_cover, self.max_lhs_size
-        )
-        validate_tree(
-            tree,
-            cache,
-            sampler=sampler,
-            max_lhs_size=self.max_lhs_size,
-            switch_threshold=self.switch_threshold,
-            sample_rounds_per_switch=self.sample_rounds_per_switch,
-        )
+        tree = None
+        try:
+            sampler = Sampler(instance, cache)
+            sampler.initial_rounds()
+            tree = build_positive_cover(
+                arity, sampler.negative_cover, self.max_lhs_size
+            )
+            validate_tree(
+                tree,
+                cache,
+                sampler=sampler,
+                max_lhs_size=self.max_lhs_size,
+                switch_threshold=self.switch_threshold,
+                sample_rounds_per_switch=self.sample_rounds_per_switch,
+            )
+        except BudgetExceeded as exc:
+            # Salvage the positive cover as it stands.  Candidates on
+            # levels validation never reached may be refuted by data it
+            # never saw, so the partial is explicitly *not* exact.
+            with suspended():
+                partial = FDSet(arity)
+                if tree is not None:
+                    for lhs, rhs_mask in tree.iter_all():
+                        partial.add_masks(lhs, rhs_mask)
+            raise exc.attach_partial(partial, exact=False)
         for lhs, rhs_mask in tree.iter_all():
             result.add_masks(lhs, rhs_mask)
         return result

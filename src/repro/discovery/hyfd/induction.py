@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.model.attributes import full_mask, iter_bits
+from repro.runtime.governor import checkpoint
 from repro.structures.fdtree import FDTree
 
 __all__ = ["apply_agree_set", "build_positive_cover", "specialize"]
@@ -52,6 +53,7 @@ def apply_agree_set(
     violated = tree.collect_violated(agree_set)
     removed = 0
     for lhs, rhs_mask in violated:
+        checkpoint("hyfd-induct")
         tree.remove(lhs, rhs_mask)
         removed += rhs_mask.bit_count()
         for rhs_attr in iter_bits(rhs_mask):

@@ -17,6 +17,7 @@ from __future__ import annotations
 import heapq
 
 from repro.model.instance import RelationInstance
+from repro.runtime.governor import checkpoint
 from repro.structures.partitions import PLICache
 
 __all__ = ["Sampler"]
@@ -69,6 +70,7 @@ class Sampler:
         compared = 0
         fresh: list[int] = []
         for cluster in self._clusters[attr]:
+            checkpoint("hyfd-sample", units=max(len(cluster) - distance, 1))
             for index in range(len(cluster) - distance):
                 compared += 1
                 agree = self.compare(cluster[index], cluster[index + distance])

@@ -25,6 +25,7 @@ from __future__ import annotations
 from repro.discovery.hyfd.induction import apply_agree_set, specialize
 from repro.discovery.hyfd.sampler import Sampler
 from repro.model.attributes import iter_bits
+from repro.runtime.governor import checkpoint
 from repro.structures.fdtree import FDTree
 from repro.structures.partitions import PLICache
 
@@ -80,6 +81,7 @@ def _validate_level(
     """
     invalid = 0
     for lhs, rhs_mask in candidates:
+        checkpoint("hyfd-validate")
         rhs_attrs = [
             attr
             for attr in iter_bits(rhs_mask)

@@ -24,6 +24,8 @@ from __future__ import annotations
 from repro.discovery.hyfd.sampler import Sampler
 from repro.model.attributes import full_mask, iter_bits
 from repro.model.instance import RelationInstance
+from repro.runtime.errors import BudgetExceeded
+from repro.runtime.governor import checkpoint, suspended
 from repro.structures.partitions import PLICache
 from repro.structures.settrie import SetTrie
 
@@ -64,17 +66,24 @@ class HyUCC:
         if cache.get(0).is_unique:  # ≤ 1 row
             return [0]
 
-        sampler = Sampler(instance, cache)
-        sampler.initial_rounds()
-
         candidates = SetTrie()
-        candidates.insert(0)
-        for agree in sorted(
-            sampler.negative_cover, key=lambda mask: -mask.bit_count()
-        ):
-            self._apply_agree_set(candidates, agree, arity)
+        try:
+            sampler = Sampler(instance, cache)
+            sampler.initial_rounds()
 
-        self._validate(candidates, cache, sampler, arity)
+            candidates.insert(0)
+            for agree in sorted(
+                sampler.negative_cover, key=lambda mask: -mask.bit_count()
+            ):
+                self._apply_agree_set(candidates, agree, arity)
+
+            self._validate(candidates, cache, sampler, arity)
+        except BudgetExceeded as exc:
+            # The candidate antichain at breach time: a superset guess
+            # of the minimal UCCs, not yet fully validated.
+            with suspended():
+                partial = sorted(candidates.iter_all())
+            raise exc.attach_partial(partial, exact=False)
         return sorted(candidates.iter_all())
 
     # ------------------------------------------------------------------
@@ -116,6 +125,7 @@ class HyUCC:
                 continue
             invalid = 0
             for mask in current:
+                checkpoint("hyucc-validate")
                 if mask not in candidates:
                     continue  # refuted by a sibling's specialization
                 partition = cache.get(mask)

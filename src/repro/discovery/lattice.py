@@ -25,6 +25,8 @@ from collections.abc import Callable
 
 from repro.discovery.hitting_sets import minimal_hitting_sets
 from repro.model.attributes import iter_bits
+from repro.runtime.errors import BudgetExceeded
+from repro.runtime.governor import add_candidates, checkpoint
 from repro.structures.settrie import SetTrie
 
 __all__ = ["find_minimal_satisfying"]
@@ -50,6 +52,7 @@ class _Classifier:
             return False
         cached = self.cache.get(mask)
         if cached is None:
+            add_candidates(1, "lattice-eval")
             cached = self.predicate(mask)
             self.evaluations += 1
             self.cache[mask] = cached
@@ -96,16 +99,23 @@ def find_minimal_satisfying(
     """
     classifier = _Classifier(predicate, universe)
 
-    # Trivial boundaries first.
-    if classifier.satisfies(0):
-        return [0]
-    if not classifier.satisfies(universe):
-        return []
+    try:
+        # Trivial boundaries first.
+        if classifier.satisfies(0):
+            return [0]
+        if not classifier.satisfies(universe):
+            return []
 
-    if random_walks > 0:
-        _prime_with_random_walks(classifier, seed, random_walks)
+        if random_walks > 0:
+            _prime_with_random_walks(classifier, seed, random_walks)
 
-    return _complete_with_hitting_sets(classifier)
+        return _complete_with_hitting_sets(classifier)
+    except BudgetExceeded as exc:
+        # Minimal satisfying sets found so far are exact facts; callers
+        # (DFD, DUCC, AFD discovery) fold them into their own partials.
+        raise exc.attach_partial(
+            sorted(classifier.min_sat.iter_all()), exact=True
+        )
 
 
 def _prime_with_random_walks(
@@ -143,6 +153,7 @@ def _complete_with_hitting_sets(classifier: _Classifier) -> list[int]:
     """
     universe = classifier.universe
     while True:
+        checkpoint("lattice-round")
         complements = [
             universe & ~non_sat for non_sat in classifier.max_unsat.iter_all()
         ]

@@ -29,6 +29,8 @@ from repro.discovery.base import FDAlgorithm
 from repro.model.attributes import bits_of, full_mask, iter_bits
 from repro.model.fd import FDSet
 from repro.model.instance import RelationInstance
+from repro.runtime.errors import BudgetExceeded
+from repro.runtime.governor import add_candidates, checkpoint
 from repro.structures.partitions import StrippedPartition
 
 __all__ = ["Tane"]
@@ -40,10 +42,18 @@ class Tane(FDAlgorithm):
     name = "tane"
 
     def discover(self, instance: RelationInstance) -> FDSet:
+        result = FDSet(instance.arity)
+        try:
+            self._discover(instance, result)
+        except BudgetExceeded as exc:
+            # Completed levels hold exact, minimal FDs — salvage them.
+            raise exc.attach_partial(result, exact=True)
+        return result
+
+    def _discover(self, instance: RelationInstance, result: FDSet) -> None:
         arity = instance.arity
-        result = FDSet(arity)
         if arity == 0:
-            return result
+            return
         everything = full_mask(arity)
 
         # Level 0 seed: the empty set's partition and error.
@@ -66,6 +76,7 @@ class Tane(FDAlgorithm):
         while level:
             if self.max_lhs_size is not None and depth - 1 > self.max_lhs_size:
                 break
+            checkpoint("tane-level", units=len(level))
             self._compute_dependencies(level, cplus, errors, everything, result)
             survivors = self._prune(
                 level, cplus, partitions, errors, everything, result,
@@ -75,7 +86,6 @@ class Tane(FDAlgorithm):
                 survivors, partitions, errors, arity, encoding.codes
             )
             depth += 1
-        return result
 
     # ------------------------------------------------------------------
     # COMPUTE_DEPENDENCIES (TANE §4.2)
@@ -150,6 +160,7 @@ class Tane(FDAlgorithm):
             joined = sub | attr_bit
             joined_error = errors.get(joined)
             if joined_error is None:
+                add_candidates(1, "tane-key")
                 joined_error = partitions[sub].intersect_ids(
                     codes[attr]
                 ).error
@@ -187,6 +198,7 @@ class Tane(FDAlgorithm):
                 candidate = first | second
                 if not _all_subsets_present(candidate, survivor_set):
                     continue
+                add_candidates(1, "tane-generate")
                 partition = partitions[first].intersect_ids(
                     codes[second.bit_length() - 1]
                 )

@@ -26,6 +26,8 @@ import itertools
 from repro.discovery.lattice import find_minimal_satisfying
 from repro.model.attributes import full_mask, iter_bits
 from repro.model.instance import RelationInstance
+from repro.runtime.errors import BudgetExceeded
+from repro.runtime.governor import checkpoint
 from repro.structures.partitions import PLICache
 from repro.structures.settrie import SetTrie
 
@@ -92,17 +94,21 @@ class NaiveUCC:
         if cache.get(0).is_unique:  # ≤ 1 row: the empty set is unique
             return [0]
         minimal = SetTrie()
-        level = [1 << attr for attr in range(arity)]
-        while level:
-            survivors = []
-            for mask in level:
-                if minimal.contains_subset_of(mask):
-                    continue
-                if cache.get(mask).is_unique:
-                    minimal.insert(mask)
-                else:
-                    survivors.append(mask)
-            level = _next_level(survivors)
+        try:
+            level = [1 << attr for attr in range(arity)]
+            while level:
+                checkpoint("naive-ucc", units=len(level))
+                survivors = []
+                for mask in level:
+                    if minimal.contains_subset_of(mask):
+                        continue
+                    if cache.get(mask).is_unique:
+                        minimal.insert(mask)
+                    else:
+                        survivors.append(mask)
+                level = _next_level(survivors)
+        except BudgetExceeded as exc:
+            raise exc.attach_partial(sorted(minimal.iter_all()), exact=True)
         return sorted(minimal.iter_all())
 
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from repro.discovery.lattice import find_minimal_satisfying
 from repro.model.attributes import bits_of, full_mask, iter_bits
 from repro.model.instance import RelationInstance
+from repro.runtime.governor import checkpoint
 from repro.structures.partitions import column_value_ids
 
 __all__ = ["AFD", "discover_afds", "g3_error", "violating_rows"]
@@ -63,12 +64,20 @@ def g3_error(
     lhs: int,
     rhs_attr: int,
     null_equals_null: bool = True,
+    probes: list[list[int]] | None = None,
 ) -> float:
-    """TANE's g3: minimal fraction of rows to drop for ``lhs → rhs_attr``."""
+    """TANE's g3: minimal fraction of rows to drop for ``lhs → rhs_attr``.
+
+    ``probes`` lets callers that verify many FDs against the same
+    instance reuse one column encoding instead of re-encoding per call
+    (see :func:`repro.runtime.degrade.discover_with_ladder`).
+    """
     rows = instance.num_rows
     if rows == 0:
         return 0.0
-    probes = _probes(instance, null_equals_null)
+    checkpoint("g3-error", units=max(rows // 256, 1))
+    if probes is None:
+        probes = _probes(instance, null_equals_null)
     lhs_bits = bits_of(lhs)
     groups: dict[tuple, Counter] = {}
     for row in range(rows):

@@ -3,6 +3,21 @@
 The paper's tool consumes plain relational files through the Metanome
 framework; this module is our equivalent.  Values are read as strings;
 empty fields become NULL (``None``) unless ``empty_as_null=False``.
+
+Real-world CSV is hostile: ragged rows, byte-order marks, bytes that
+are not valid UTF-8, empty files.  :func:`read_csv` turns each of these
+into a structured :class:`~repro.runtime.errors.InputError` carrying
+the file, row, and column context — or repairs them under an explicit
+``on_error`` policy:
+
+* ``"strict"`` (default) — any defect raises :class:`InputError`,
+* ``"pad"``    — ragged rows are padded with NULLs / truncated to the
+  header width; undecodable bytes become U+FFFD replacement characters,
+* ``"skip"``   — ragged rows are dropped; undecodable bytes are
+  replaced as under ``"pad"``.
+
+A UTF-8 byte-order mark is always stripped (``utf-8-sig``): it is a
+transparent encoding artifact, not a data defect.
 """
 
 from __future__ import annotations
@@ -12,8 +27,11 @@ from pathlib import Path
 
 from repro.model.instance import RelationInstance
 from repro.model.schema import Relation
+from repro.runtime.errors import InputError
 
 __all__ = ["read_csv", "write_csv"]
+
+_POLICIES = ("strict", "pad", "skip")
 
 
 def read_csv(
@@ -22,36 +40,84 @@ def read_csv(
     delimiter: str = ",",
     has_header: bool = True,
     empty_as_null: bool = True,
+    on_error: str = "strict",
 ) -> RelationInstance:
     """Read a CSV file into a :class:`RelationInstance`.
 
     Without a header row, columns are named ``col_0 … col_{n-1}``.  The
-    relation name defaults to the file stem.
+    relation name defaults to the file stem.  ``on_error`` selects the
+    malformed-input policy (see the module docstring).
     """
+    if on_error not in _POLICIES:
+        raise InputError(
+            f"unknown on_error policy {on_error!r}; choose from {_POLICIES}"
+        )
     path = Path(path)
-    with path.open(newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        rows = list(reader)
+    errors = "strict" if on_error == "strict" else "replace"
+    try:
+        # utf-8-sig transparently strips a leading BOM if present.
+        with path.open(
+            newline="", encoding="utf-8-sig", errors=errors
+        ) as handle:
+            reader = csv.reader(handle, delimiter=delimiter)
+            rows = list(reader)
+    except FileNotFoundError:
+        raise InputError("input file not found", file=str(path)) from None
+    except UnicodeDecodeError as exc:
+        raise InputError(
+            f"not valid UTF-8 ({exc.reason}); re-encode the file or use "
+            "on_error='pad'/'skip' to substitute replacement characters",
+            file=str(path),
+            byte_offset=exc.start,
+        ) from None
+    except csv.Error as exc:
+        raise InputError(
+            f"malformed CSV: {exc}", file=str(path)
+        ) from None
     if not rows:
-        raise ValueError(f"{path} is empty; cannot infer a schema")
+        raise InputError(
+            "file is empty; cannot infer a schema", file=str(path)
+        )
     if has_header:
         header, data_rows = tuple(rows[0]), rows[1:]
+        first_line = 2
     else:
         header = tuple(f"col_{index}" for index in range(len(rows[0])))
         data_rows = rows
+        first_line = 1
+    if not header:
+        raise InputError(
+            "header row has no columns", file=str(path), row=1
+        )
     relation = Relation(name or path.stem, header)
     converted = []
-    for line_number, row in enumerate(data_rows, start=2 if has_header else 1):
+    for line_number, row in enumerate(data_rows, start=first_line):
         if len(row) != len(header):
-            raise ValueError(
-                f"{path}:{line_number}: expected {len(header)} fields, "
-                f"got {len(row)}"
-            )
+            if on_error == "skip":
+                continue
+            if on_error == "pad":
+                row = _pad(row, len(header))
+            else:
+                raise InputError(
+                    f"expected {len(header)} fields, got {len(row)}",
+                    file=str(path),
+                    row=line_number,
+                    columns=len(header),
+                )
         if empty_as_null:
-            converted.append(tuple(value if value != "" else None for value in row))
+            converted.append(
+                tuple(value if value != "" else None for value in row)
+            )
         else:
             converted.append(tuple(row))
     return RelationInstance.from_rows(relation, converted)
+
+
+def _pad(row: list[str], width: int) -> list[str]:
+    """Repair a ragged row to ``width`` fields (pad with NULLs / truncate)."""
+    if len(row) < width:
+        return row + [""] * (width - len(row))
+    return row[:width]
 
 
 def write_csv(

@@ -27,6 +27,8 @@ from repro.model.fd import FDSet
 from repro.model.schema import ForeignKey, Relation, Schema
 
 __all__ = [
+    "checkpoint_from_json",
+    "checkpoint_to_json",
     "fdset_from_json",
     "fdset_to_json",
     "load_fdset",
@@ -184,4 +186,81 @@ def result_to_json(result: NormalizationResult) -> dict:
         "stopped_relations": list(result.stopped_relations),
         "values_before": result.original_values,
         "values_after": result.total_values,
+        "fidelity": (
+            result.fidelity.to_json() if result.fidelity is not None else None
+        ),
     }
+
+
+# ----------------------------------------------------------------------
+# Pipeline checkpoints (see repro.runtime.checkpointing)
+# ----------------------------------------------------------------------
+def checkpoint_to_json(state) -> dict:
+    """Serialize a :class:`~repro.runtime.checkpointing.PipelineState`.
+
+    FD sets are stored by attribute names (the same convention as
+    :func:`fdset_to_json`), so the checkpoint stays readable and is
+    robust against column re-encoding.
+    """
+    columns_by_name = {
+        entry["name"]: entry["columns"] for entry in state.inputs
+    }
+    return {
+        "format": "repro/pipeline-checkpoint",
+        "version": 1,
+        "config": dict(state.config),
+        "inputs": [dict(entry) for entry in state.inputs],
+        "discovered": {
+            name: fdset_to_json(fds, columns_by_name[name])
+            for name, fds in state.discovered.items()
+        },
+        "fidelity": {
+            name: fidelity.to_json()
+            for name, fidelity in state.fidelity.items()
+        },
+        "decisions": [dict(decision) for decision in state.decisions],
+        "complete": state.complete,
+    }
+
+
+def checkpoint_from_json(payload: dict):
+    """Deserialize a pipeline checkpoint document.
+
+    Raises :class:`~repro.runtime.errors.CheckpointError` on format
+    mismatches so the CLI boundary can report them uniformly.
+    """
+    from repro.runtime.checkpointing import (
+        CHECKPOINT_FORMAT,
+        CHECKPOINT_VERSION,
+        PipelineState,
+    )
+    from repro.runtime.degrade import RelationFidelity
+    from repro.runtime.errors import CheckpointError
+
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"not a pipeline checkpoint (format={payload.get('format')!r})"
+        )
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {payload.get('version')!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    try:
+        discovered = {}
+        for name, document in payload["discovered"].items():
+            fds, _ = fdset_from_json(document)
+            discovered[name] = fds
+        return PipelineState(
+            config=dict(payload["config"]),
+            inputs=[dict(entry) for entry in payload["inputs"]],
+            discovered=discovered,
+            fidelity={
+                name: RelationFidelity.from_json(entry)
+                for name, entry in payload["fidelity"].items()
+            },
+            decisions=[dict(decision) for decision in payload["decisions"]],
+            complete=bool(payload["complete"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed checkpoint document: {exc}") from exc

@@ -95,6 +95,18 @@ class FDSet:
         """Return the aggregated RHS mask for ``lhs`` (0 if absent)."""
         return self._by_lhs.get(lhs, 0)
 
+    def remove_masks(self, lhs: int, rhs: int) -> None:
+        """Remove ``lhs → rhs`` (RHS bits only); drops the LHS when empty.
+
+        Used by degraded-mode normalization to evict FD candidates that
+        re-verification against the data refuted.
+        """
+        remaining = self._by_lhs.get(lhs, 0) & ~rhs
+        if remaining:
+            self._by_lhs[lhs] = remaining
+        else:
+            self._by_lhs.pop(lhs, None)
+
     def __contains__(self, fd: FD) -> bool:
         return self._by_lhs.get(fd.lhs, 0) & fd.rhs == fd.rhs
 

@@ -1,0 +1,58 @@
+"""Resource governance for the normalization pipeline.
+
+The runtime layer makes the pipeline *interruptible by contract*:
+
+* :mod:`repro.runtime.errors` — the structured exception taxonomy
+  (``ReproError`` → ``InputError`` / ``BudgetExceeded`` /
+  ``CheckpointError``, plus ``DegradedResultWarning``),
+* :mod:`repro.runtime.governor` — :class:`Budget` ceilings enforced at
+  cooperative :func:`checkpoint` calls injected into every hot loop,
+* :mod:`repro.runtime.faults` — deterministic fault injection so the
+  verification harness can exercise every breach and resume path,
+* :mod:`repro.runtime.degrade` — the hyfd → dfd → sampled-rows ladder
+  and the fidelity report (imported lazily by the pipeline),
+* :mod:`repro.runtime.checkpointing` — pipeline progress persisted so
+  ``repro normalize --resume`` continues a killed run (imported
+  lazily by the pipeline).
+
+See ``docs/ROBUSTNESS.md`` for the full design.
+"""
+
+from repro.runtime.errors import (
+    BudgetExceeded,
+    CheckpointError,
+    DegradedResultWarning,
+    InputError,
+    ReproError,
+)
+from repro.runtime.faults import FaultPlan, SimulatedKill
+from repro.runtime.governor import (
+    Budget,
+    Governor,
+    activate,
+    add_candidates,
+    checkpoint,
+    current_governor,
+    parse_duration,
+    parse_memory,
+    suspended,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "CheckpointError",
+    "DegradedResultWarning",
+    "FaultPlan",
+    "Governor",
+    "InputError",
+    "ReproError",
+    "SimulatedKill",
+    "activate",
+    "add_candidates",
+    "checkpoint",
+    "current_governor",
+    "parse_duration",
+    "parse_memory",
+    "suspended",
+]

@@ -1,0 +1,390 @@
+"""The degradation ladder: retry FD discovery at lower fidelity.
+
+When a discovery stage breaches its budget, dying with a stack trace is
+the worst possible outcome for an interactive or production run — the
+paper's own §9 concedes result sizes grow exponentially, and related
+anytime-discovery work (EAIFD) argues for partial results over no
+results.  The ladder embodies that policy:
+
+1. the configured algorithm (HyFD by default) with roughly half the
+   remaining budget,
+2. DFD — the per-RHS random-walk search degrades more gracefully on
+   wide schemas because each RHS attribute completes independently,
+3. *sampled-rows approximate discovery*: run HyFD on a deterministic
+   row sample, then verify every candidate against the **full**
+   relation with the g3 error measure from
+   :mod:`repro.extensions.approximate`, keeping FDs with
+   ``g3 ≤ approx_error`` (the default ``0.0`` keeps only FDs that hold
+   exactly, so degraded schemas stay lossless).
+
+If every rung breaches, the best salvaged partial FD set is returned.
+Each relation's journey down the ladder is recorded in a
+:class:`RelationFidelity`, aggregated per run into a
+:class:`FidelityReport` that travels on the
+:class:`~repro.core.result.NormalizationResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.model.fd import FDSet
+from repro.model.instance import RelationInstance
+from repro.runtime.errors import BudgetExceeded
+from repro.runtime.governor import Governor, activate, checkpoint, suspended
+
+__all__ = [
+    "FidelityReport",
+    "RelationFidelity",
+    "StageAttempt",
+    "discover_with_ladder",
+    "sample_instance_rows",
+]
+
+#: fraction of the remaining wall clock granted to each ladder rung;
+#: the final rung keeps a margin so decomposition can still run.
+_RUNG_FRACTIONS = (0.5, 0.5, 0.9)
+
+
+@dataclass(slots=True)
+class StageAttempt:
+    """One rung of the ladder, as it actually went."""
+
+    stage: str
+    outcome: str  # "ok" | "breach"
+    reason: str | None = None
+    seconds: float = 0.0
+    num_fds: int | None = None
+
+    def to_str(self) -> str:
+        detail = f"{self.num_fds} FDs" if self.num_fds is not None else ""
+        if self.outcome == "breach":
+            detail = self.reason or "breach"
+        return f"{self.stage}: {self.outcome} ({detail}, {self.seconds:.2f}s)"
+
+    def to_json(self) -> dict:
+        return {
+            "stage": self.stage,
+            "outcome": self.outcome,
+            "reason": self.reason,
+            "seconds": self.seconds,
+            "num_fds": self.num_fds,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "StageAttempt":
+        return cls(**payload)
+
+
+@dataclass(slots=True)
+class RelationFidelity:
+    """How faithfully one relation's FDs were discovered.
+
+    ``fidelity``:
+        * ``"exact"``   — complete minimal FDs from an exact algorithm,
+        * ``"sampled"`` — discovered on a row sample, then verified
+          against the full relation with g3 ≤ ``approx_error``;
+          complete *for the sample*, sound within the error bound,
+        * ``"partial"`` — the salvaged prefix of an interrupted run;
+          sound facts only if the breach carried exact partial state,
+        * ``"none"``    — nothing was salvaged.
+    """
+
+    relation: str
+    fidelity: str = "exact"
+    attempts: list[StageAttempt] = field(default_factory=list)
+    sampled_rows: int | None = None
+    notes: list[str] = field(default_factory=list)
+    #: True when every FD in the returned set is *known to hold* on the
+    #: full relation (exact runs, g3-verified samples with ε=0, exact
+    #: partial prefixes); False when unvalidated candidates may remain.
+    sound: bool = True
+
+    @property
+    def exact(self) -> bool:
+        return self.fidelity == "exact"
+
+    def to_str(self) -> str:
+        lines = [f"{self.relation}: {self.fidelity}"]
+        lines.extend(f"  - {attempt.to_str()}" for attempt in self.attempts)
+        lines.extend(f"  note: {note}" for note in self.notes)
+        if self.sampled_rows is not None:
+            lines.append(f"  sampled rows: {self.sampled_rows}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "relation": self.relation,
+            "fidelity": self.fidelity,
+            "attempts": [attempt.to_json() for attempt in self.attempts],
+            "sampled_rows": self.sampled_rows,
+            "notes": list(self.notes),
+            "sound": self.sound,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "RelationFidelity":
+        return cls(
+            relation=payload["relation"],
+            fidelity=payload["fidelity"],
+            attempts=[StageAttempt.from_json(a) for a in payload["attempts"]],
+            sampled_rows=payload["sampled_rows"],
+            notes=list(payload["notes"]),
+            sound=payload.get("sound", True),
+        )
+
+
+@dataclass(slots=True)
+class FidelityReport:
+    """Run-level fidelity: per-relation reports plus pipeline events.
+
+    ``events`` records degradations outside discovery — a truncated
+    decomposition loop, skipped primary-key selection — anything that
+    makes the result less than the exact pipeline would have produced.
+    """
+
+    relations: dict[str, RelationFidelity] = field(default_factory=dict)
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.events) or any(
+            not fidelity.exact for fidelity in self.relations.values()
+        )
+
+    def to_str(self) -> str:
+        if not self.degraded:
+            return "fidelity: exact (no degradation)"
+        lines = ["fidelity: DEGRADED"]
+        for fidelity in self.relations.values():
+            lines.extend("  " + line for line in fidelity.to_str().splitlines())
+        lines.extend(f"  event: {event}" for event in self.events)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "degraded": self.degraded,
+            "relations": {
+                name: fidelity.to_json()
+                for name, fidelity in self.relations.items()
+            },
+            "events": list(self.events),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FidelityReport":
+        return cls(
+            relations={
+                name: RelationFidelity.from_json(entry)
+                for name, entry in payload["relations"].items()
+            },
+            events=list(payload["events"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Row sampling
+# ----------------------------------------------------------------------
+def sample_instance_rows(
+    instance: RelationInstance, sample_rows: int, seed: int
+) -> tuple[RelationInstance, int]:
+    """Deterministic row sample (order-preserving); returns (sample, n)."""
+    import random
+
+    rows = instance.num_rows
+    if rows <= sample_rows:
+        return instance, rows
+    picked = sorted(random.Random(seed).sample(range(rows), sample_rows))
+    columns_data = [
+        [column[i] for i in picked] for column in instance.columns_data
+    ]
+    return (
+        RelationInstance(instance.relation, columns_data),
+        sample_rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# The ladder
+# ----------------------------------------------------------------------
+def discover_with_ladder(
+    instance: RelationInstance,
+    algorithm,
+    governor: Governor | None = None,
+    degrade: bool = True,
+    sample_rows: int = 512,
+    approx_error: float = 0.0,
+    seed: int = 42,
+) -> tuple[FDSet, RelationFidelity]:
+    """Discover FDs, stepping down the ladder on budget breaches.
+
+    ``algorithm`` is a ready :class:`~repro.discovery.base.FDAlgorithm`.
+    Without a governor (or with ``degrade=False``) this is a plain
+    ``algorithm.discover`` call — breaches propagate to the caller with
+    their partial state attached.
+    """
+    fidelity = RelationFidelity(relation=instance.name)
+    if governor is None:
+        fds = algorithm.discover(instance)
+        fidelity.attempts.append(
+            StageAttempt(_stage_name(algorithm), "ok", num_fds=len(fds))
+        )
+        return fds, fidelity
+
+    best_partial: FDSet | None = None
+    best_partial_exact = False
+
+    rungs = _build_rungs(instance, algorithm, sample_rows, approx_error, seed)
+    for index, (stage, runner) in enumerate(rungs):
+        fraction = _RUNG_FRACTIONS[min(index, len(_RUNG_FRACTIONS) - 1)]
+        sub = governor.subgovernor(fraction)
+        started = time.perf_counter()
+        try:
+            with activate(sub):
+                fds, sampled = runner(fidelity)
+        except BudgetExceeded as exc:
+            governor.absorb(sub)
+            fidelity.attempts.append(
+                StageAttempt(
+                    stage,
+                    "breach",
+                    reason=exc.reason,
+                    seconds=time.perf_counter() - started,
+                )
+            )
+            partial = exc.partial
+            if isinstance(partial, FDSet) and (
+                best_partial is None
+                or (exc.partial_exact and not best_partial_exact)
+                or (
+                    exc.partial_exact == best_partial_exact
+                    and len(partial) > len(best_partial)
+                )
+            ):
+                best_partial = partial
+                best_partial_exact = exc.partial_exact
+            if not degrade:
+                raise
+            continue
+        governor.absorb(sub)
+        fidelity.attempts.append(
+            StageAttempt(
+                stage,
+                "ok",
+                seconds=time.perf_counter() - started,
+                num_fds=len(fds),
+            )
+        )
+        if sampled is not None:
+            fidelity.fidelity = "sampled"
+            fidelity.sampled_rows = sampled
+            fidelity.sound = approx_error == 0.0
+        return fds, fidelity
+
+    # Every rung breached: fall back to the best salvaged partial state.
+    if best_partial is not None:
+        fidelity.fidelity = "partial"
+        fidelity.sound = best_partial_exact
+        if not best_partial_exact:
+            fidelity.notes.append(
+                "partial state may contain unvalidated candidates; "
+                "decompositions re-verify chosen FDs against the data"
+            )
+        return best_partial, fidelity
+    fidelity.fidelity = "none"
+    fidelity.notes.append("no partial state was salvaged before the breach")
+    return FDSet(instance.arity), fidelity
+
+
+def _stage_name(algorithm) -> str:
+    return getattr(algorithm, "name", type(algorithm).__name__)
+
+
+def _build_rungs(instance, algorithm, sample_rows, approx_error, seed):
+    """The (stage-name, runner) sequence for this ladder descent."""
+    primary_name = _stage_name(algorithm)
+
+    def run_primary(fidelity):
+        return algorithm.discover(instance), None
+
+    rungs = [(primary_name, run_primary)]
+
+    if primary_name != "dfd":
+
+        def run_dfd(fidelity):
+            from repro.discovery.dfd import DFD
+
+            fallback = DFD(
+                null_equals_null=getattr(algorithm, "null_equals_null", True),
+                max_lhs_size=getattr(algorithm, "max_lhs_size", None),
+                seed=seed,
+            )
+            return fallback.discover(instance), None
+
+        rungs.append(("dfd", run_dfd))
+
+    def run_sampled(fidelity):
+        fds, sampled = _sampled_discovery(
+            instance, algorithm, sample_rows, approx_error, seed, fidelity
+        )
+        return fds, sampled
+
+    rungs.append(("sampled", run_sampled))
+    return rungs
+
+
+def _sampled_discovery(
+    instance, algorithm, sample_rows, approx_error, seed, fidelity
+):
+    """Rung 3: discover on a row sample, g3-verify on the full relation."""
+    from repro.discovery.hyfd import HyFD
+    from repro.extensions.approximate import g3_error
+
+    null_equals_null = getattr(algorithm, "null_equals_null", True)
+    sample, sampled = sample_instance_rows(instance, sample_rows, seed)
+    candidate_fds = HyFD(
+        null_equals_null=null_equals_null,
+        max_lhs_size=getattr(algorithm, "max_lhs_size", None),
+    ).discover(sample)
+    if sampled == instance.num_rows:
+        # Nothing was actually sampled: the result is exact as-is.
+        return candidate_fds, None
+
+    kept = FDSet(instance.arity)
+    try:
+        from repro.structures.partitions import column_value_ids
+
+        probes = [
+            column_value_ids(column, null_equals_null)
+            for column in instance.columns_data
+        ]
+        for lhs, rhs_mask in sorted(candidate_fds.items()):
+            rhs = rhs_mask
+            attr = 0
+            while rhs:
+                if rhs & 1:
+                    checkpoint("sampled-verify", units=max(instance.num_rows, 1))
+                    error = g3_error(
+                        instance,
+                        lhs,
+                        attr,
+                        null_equals_null,
+                        probes=probes,
+                    )
+                    if error <= approx_error:
+                        kept.add_masks(lhs, 1 << attr)
+                rhs >>= 1
+                attr += 1
+    except BudgetExceeded as exc:
+        # Keep only what was verified so far; unverified candidates are
+        # dropped rather than trusted (losslessness over completeness).
+        with suspended():
+            fidelity.notes.append(
+                f"g3 verification truncated by {exc.reason}; "
+                "unverified sampled FDs were dropped"
+            )
+        exc.partial = kept
+        exc.partial_exact = approx_error == 0.0
+        raise
+    return kept, sampled

@@ -1,0 +1,113 @@
+"""Deterministic fault injection at cooperative checkpoints.
+
+Every degradation and resume path in the pipeline exists to survive a
+failure that is hard to produce on demand: a deadline landing in the
+middle of TANE's level 7, an OOM during HyFD validation, a ``kill -9``
+between two decomposition decisions.  A :class:`FaultPlan` produces
+exactly those events *deterministically*: given a seed, it fires once
+at the Nth checkpoint tick, raising either a synthetic
+:class:`~repro.runtime.errors.BudgetExceeded` (exercising the
+degradation ladder) or a :class:`SimulatedKill` (exercising
+checkpoint/resume — it derives from ``BaseException`` so no recovery
+layer can swallow it, exactly like a real kill).
+
+The verification harness (``repro verify --faults``) sweeps seeds so
+that, over a campaign, faults land at every checkpoint site the
+pipeline has.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.runtime.errors import BudgetExceeded, InputError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.governor import Governor
+
+__all__ = ["FaultPlan", "SimulatedKill", "FAULT_MODES"]
+
+FAULT_MODES = ("timeout", "oom", "kill")
+
+
+class SimulatedKill(BaseException):
+    """An injected hard kill (SIGKILL analogue).
+
+    Derives from ``BaseException`` on purpose: the pipeline's recovery
+    machinery (degradation ladder, CLI boundary) must *not* be able to
+    catch it, mirroring a real process death.  Only tests catch it.
+    """
+
+    def __init__(self, at_tick: int) -> None:
+        self.at_tick = at_tick
+        super().__init__(f"simulated kill at checkpoint tick {at_tick}")
+
+
+@dataclass(slots=True)
+class FaultPlan:
+    """Fire one deterministic fault at the ``at_tick``-th checkpoint.
+
+    ``mode``:
+        * ``"timeout"`` — raise ``BudgetExceeded(reason="fault:timeout")``,
+        * ``"oom"``     — raise ``BudgetExceeded(reason="fault:oom")``,
+        * ``"kill"``    — raise :class:`SimulatedKill`.
+
+    ``stage`` optionally restricts the fault to checkpoints whose stage
+    label starts with it (e.g. ``"hyfd"``), so campaigns can target one
+    subsystem.  ``fired`` records whether the fault went off, letting
+    tests distinguish "survived the fault" from "never reached it".
+    """
+
+    mode: str = "timeout"
+    at_tick: int = 1
+    stage: str | None = None
+    fired: bool = False
+    fired_at_stage: str = field(default="", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise InputError(
+                f"unknown fault mode {self.mode!r}; choose from {FAULT_MODES}"
+            )
+        if self.at_tick < 1:
+            raise InputError("at_tick must be >= 1")
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        mode: str | None = None,
+        max_tick: int = 4096,
+        stage: str | None = None,
+    ) -> "FaultPlan":
+        """Derive a deterministic plan from a campaign seed."""
+        rng = random.Random(seed * 0x9E3779B1 ^ 0xFA17)
+        if mode is None:
+            mode = rng.choice(FAULT_MODES)
+        # Bias towards early ticks so short runs are hit too, while the
+        # tail still reaches deep into long runs.
+        at_tick = min(int(rng.expovariate(1.0 / (max_tick / 8))) + 1, max_tick)
+        return cls(mode=mode, at_tick=at_tick, stage=stage)
+
+    # ------------------------------------------------------------------
+    # Governor hook
+    # ------------------------------------------------------------------
+    def on_tick(self, governor: "Governor", stage: str) -> None:
+        if self.fired or governor.ticks < self.at_tick:
+            return
+        if self.stage is not None and not stage.startswith(self.stage):
+            return
+        self.fired = True
+        self.fired_at_stage = stage
+        if self.mode == "kill":
+            raise SimulatedKill(governor.ticks)
+        governor.inject(
+            BudgetExceeded(
+                f"fault:{self.mode}",
+                stage=stage,
+                limit=self.at_tick,
+                observed=governor.ticks,
+            )
+        )

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.model.attributes import bits_of
+from repro.runtime.governor import add_candidates
 from repro.structures.encoding import encode_column
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -446,6 +447,7 @@ class PLICache:
             self._touch(mask)
             return cached
         self.stats.misses += 1
+        add_candidates(1, "pli")
         return self._build(mask)
 
     def _build(self, mask: int) -> StrippedPartition:

@@ -1,0 +1,224 @@
+"""Fault-injection campaigns over the resource-governed pipeline.
+
+Where the differential/metamorphic campaign (``repro verify``) checks
+*what* the pipeline computes, this campaign checks *how it fails*: a
+seeded :class:`~repro.runtime.faults.FaultPlan` fires one deterministic
+fault at a checkpoint tick — a synthetic deadline/OOM breach or a
+simulated ``kill -9`` — and the harness asserts the robustness
+contract:
+
+* a breach under ``degrade=True`` never escapes ``Normalizer.run``:
+  the run completes and, if the fault actually fired, the degradation
+  is visible in the fidelity report (a breached ladder rung or a
+  pipeline event),
+* a breach never corrupts the result: the returned schema still
+  reconstructs losslessly wherever a reconstruction is defined,
+* a kill mid-run is survivable: resuming from the journaled checkpoint
+  reproduces the *byte-identical* DDL of an uninterrupted reference
+  run,
+* an un-fired fault leaves the pipeline bit-for-bit unaffected (the
+  governed result equals the reference).
+
+Sweeping seeds moves the fault tick across every checkpoint site the
+pipeline has.  Console entry point: ``repro verify --faults``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.core.normalize import Normalizer
+from repro.datagen.random_tables import random_instance
+from repro.io.ddl import schema_to_ddl
+from repro.runtime.checkpointing import load_state
+from repro.runtime.errors import BudgetExceeded, CheckpointError, ReproError
+from repro.runtime.faults import FaultPlan, SimulatedKill
+
+__all__ = ["FaultCampaignReport", "run_fault_campaign"]
+
+
+@dataclass(slots=True)
+class FaultCampaignReport:
+    """Outcome of one fault-injection campaign."""
+
+    seeds: list[int] = field(default_factory=list)
+    fired: int = 0
+    kills: int = 0
+    resumes: int = 0
+    degraded_results: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_str(self) -> str:
+        lines = [
+            f"fault campaign: {len(self.seeds)} seeds, "
+            f"{self.fired} faults fired ({self.kills} kills, "
+            f"{self.resumes} successful resumes), "
+            f"{self.degraded_results} degraded results: "
+            + ("all passed" if self.ok else f"{len(self.failures)} FAILURES")
+        ]
+        for failure in self.failures:
+            lines.append(f"  FAIL {failure}")
+        return "\n".join(lines)
+
+
+def _make_instance(seed: int, num_rows: int, max_columns: int):
+    import random
+
+    rng = random.Random(seed * 0x9E3779B1 + 0xFA17)
+    columns = rng.randint(4, max(4, max_columns))
+    rows = rng.randint(12, max(12, num_rows))
+    domains = [rng.randint(2, 5) for _ in range(columns)]
+    return random_instance(seed, columns, rows, domain_size=domains)
+
+
+def _normalizer(**kwargs) -> Normalizer:
+    return Normalizer(algorithm="hyfd", **kwargs)
+
+
+def _ddl(result) -> str:
+    return schema_to_ddl(result.schema, result.instances)
+
+
+def run_fault_campaign(
+    seeds: int | Iterable[int],
+    num_rows: int = 40,
+    max_columns: int = 8,
+    progress: Callable[[str], None] | None = None,
+) -> FaultCampaignReport:
+    """Sweep fault seeds over the governed pipeline; see module docstring."""
+    if isinstance(seeds, int):
+        seeds = range(seeds)
+    report = FaultCampaignReport()
+    for seed in seeds:
+        report.seeds.append(seed)
+        if progress is not None:
+            progress(f"fault seed {seed}")
+        _run_one(seed, report, num_rows, max_columns)
+    return report
+
+
+def _run_one(
+    seed: int,
+    report: FaultCampaignReport,
+    num_rows: int,
+    max_columns: int,
+) -> None:
+    instance = _make_instance(seed, num_rows, max_columns)
+    reference_ddl = _ddl(_normalizer().run(instance))
+
+    # Cycle the mode deterministically so every third seed is a kill,
+    # and keep ticks low — small campaign tables only produce a few
+    # hundred — so most seeds actually exercise a recovery path.
+    from repro.runtime.faults import FAULT_MODES
+
+    plan = FaultPlan.from_seed(
+        seed, mode=FAULT_MODES[seed % len(FAULT_MODES)], max_tick=256
+    )
+
+    handle, ckpt = tempfile.mkstemp(prefix="repro-fault-", suffix=".json")
+    os.close(handle)
+    os.unlink(ckpt)  # the pipeline creates it atomically
+    try:
+        governed = _normalizer(fault_plan=plan, checkpoint_path=ckpt)
+        try:
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                result = governed.run(instance)
+        except SimulatedKill:
+            report.fired += 1
+            report.kills += 1
+            _check_resume(seed, report, instance, ckpt, reference_ddl)
+            return
+        except BudgetExceeded as exc:
+            report.failures.append(
+                f"seed {seed}: BudgetExceeded escaped run() despite "
+                f"degrade=True ({exc})"
+            )
+            return
+        except ReproError as exc:
+            report.failures.append(
+                f"seed {seed}: unexpected taxonomy error from run(): {exc!r}"
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            report.failures.append(
+                f"seed {seed}: raw {type(exc).__name__} escaped run(): {exc!r}"
+            )
+            return
+
+        if result.fidelity is None:
+            report.failures.append(
+                f"seed {seed}: governed run returned no fidelity report"
+            )
+            return
+        if plan.fired:
+            report.fired += 1
+            breach_visible = bool(result.fidelity.events) or any(
+                attempt.outcome == "breach"
+                for fidelity in result.fidelity.relations.values()
+                for attempt in fidelity.attempts
+            )
+            if not breach_visible:
+                report.failures.append(
+                    f"seed {seed}: fault {plan.mode!r} fired at stage "
+                    f"{plan.fired_at_stage!r} but the fidelity report "
+                    "shows no breach"
+                )
+            if result.fidelity.degraded:
+                report.degraded_results += 1
+        else:
+            # The fault never fired: governance must be a no-op.
+            if _ddl(result) != reference_ddl:
+                report.failures.append(
+                    f"seed {seed}: governed run (no fault fired) differs "
+                    "from the ungoverned reference"
+                )
+    finally:
+        for leftover in (ckpt, ckpt + ".tmp"):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+
+
+def _check_resume(
+    seed: int,
+    report: FaultCampaignReport,
+    instance,
+    ckpt: str,
+    reference_ddl: str,
+) -> None:
+    """After a simulated kill: resume from the journal, compare DDL."""
+    if not os.path.exists(ckpt):
+        # Killed before the first flush: nothing to resume, rerun fresh.
+        resumed = _normalizer().run(instance)
+    else:
+        try:
+            state = load_state(ckpt)
+        except CheckpointError as exc:
+            report.failures.append(
+                f"seed {seed}: checkpoint unreadable after kill: {exc}"
+            )
+            return
+        try:
+            resumed = _normalizer(checkpoint_path=ckpt).run(
+                instance, resume_state=state
+            )
+        except ReproError as exc:
+            report.failures.append(f"seed {seed}: resume failed: {exc!r}")
+            return
+    report.resumes += 1
+    if _ddl(resumed) != reference_ddl:
+        report.failures.append(
+            f"seed {seed}: resumed run's DDL differs from the "
+            "uninterrupted reference run"
+        )

@@ -433,6 +433,13 @@ def build_verify_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-seed progress"
     )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the fault-injection campaign instead: deterministic "
+        "timeout/OOM/kill faults at checkpoint ticks, asserting graceful "
+        "degradation and checkpoint/resume (see docs/ROBUSTNESS.md)",
+    )
     return parser
 
 
@@ -441,6 +448,19 @@ def main_verify(argv: Sequence[str] | None = None) -> int:
     progress = None
     if not args.quiet:
         progress = lambda msg: print(f"  {msg}", end="\r", flush=True)  # noqa: E731
+    if args.faults:
+        from repro.verification.faults_campaign import run_fault_campaign
+
+        fault_report = run_fault_campaign(
+            range(args.start, args.start + args.seeds),
+            num_rows=args.rows,
+            max_columns=args.columns,
+            progress=progress,
+        )
+        if not args.quiet:
+            print()
+        print(fault_report.to_str())
+        return 0 if fault_report.ok else 1
     report = verify_seeds(
         range(args.start, args.start + args.seeds),
         num_rows=args.rows,

@@ -1,11 +1,60 @@
-"""Shared fixtures and hypothesis configuration for the test suite."""
+"""Shared fixtures, hypothesis configuration, and a timeout shim."""
 
 from __future__ import annotations
+
+import importlib.util
+import signal
 
 import pytest
 from hypothesis import HealthCheck, settings
 
 from repro.io.datasets import address_example, denormalized_university
+
+# ----------------------------------------------------------------------
+# pytest-timeout shim: CI installs the real plugin; environments without
+# it still honor `--timeout` / `@pytest.mark.timeout(n)` via SIGALRM so
+# a hung governed run fails the suite instead of wedging it.
+# ----------------------------------------------------------------------
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+_HAVE_SIGALRM = hasattr(signal, "SIGALRM")
+
+if not _HAVE_PYTEST_TIMEOUT:
+
+    def pytest_addoption(parser):
+        parser.addoption(
+            "--timeout",
+            type=float,
+            default=0,
+            help="per-test timeout in seconds (0 disables; shim for "
+            "the pytest-timeout plugin)",
+        )
+
+    def pytest_configure(config):
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): per-test timeout (pytest-timeout shim)",
+        )
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        seconds = item.config.getoption("--timeout")
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            seconds = float(marker.args[0])
+        if not seconds or not _HAVE_SIGALRM:
+            yield
+            return
+
+        def _expired(signum, frame):
+            pytest.fail(f"test exceeded the {seconds:g}s timeout", pytrace=False)
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 settings.register_profile(
     "repro",

@@ -68,6 +68,88 @@ class TestCsvRoundTrip:
             read_csv(path)
 
 
+class TestCsvHardening:
+    """Hostile-input behavior of read_csv: structured errors + repair
+    policies (see docs/ROBUSTNESS.md)."""
+
+    def test_bom_is_always_stripped(self, tmp_path):
+        path = tmp_path / "bom.csv"
+        path.write_bytes(b"\xef\xbb\xbfa,b\n1,2\n")
+        back = read_csv(path)
+        assert back.columns == ("a", "b")
+
+    def test_ragged_error_carries_context(self, tmp_path):
+        from repro.runtime.errors import InputError
+
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n3\n", encoding="utf-8")
+        with pytest.raises(InputError) as exc_info:
+            read_csv(path)
+        context = exc_info.value.context
+        assert context["row"] == 3
+        assert context["file"] == str(path)
+
+    def test_ragged_pad_policy(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1\n1,2,3\n", encoding="utf-8")
+        back = read_csv(path, on_error="pad")
+        assert list(back.iter_rows()) == [("1", None), ("1", "2")]
+
+    def test_ragged_skip_policy(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1\n5,6\n", encoding="utf-8")
+        back = read_csv(path, on_error="skip")
+        assert list(back.iter_rows()) == [("5", "6")]
+
+    def test_undecodable_bytes_strict(self, tmp_path):
+        from repro.runtime.errors import InputError
+
+        path = tmp_path / "latin1.csv"
+        path.write_bytes(b"a,b\nx,caf\xe9\n")  # latin-1 é: invalid UTF-8
+        with pytest.raises(InputError, match="not valid UTF-8"):
+            read_csv(path)
+
+    def test_undecodable_bytes_replaced_under_pad(self, tmp_path):
+        path = tmp_path / "latin1.csv"
+        path.write_bytes(b"a,b\nx,caf\xe9\n")
+        back = read_csv(path, on_error="pad")
+        assert list(back.iter_rows()) == [("x", "caf�")]
+
+    def test_missing_file(self, tmp_path):
+        from repro.runtime.errors import InputError
+
+        with pytest.raises(InputError, match="not found"):
+            read_csv(tmp_path / "absent.csv")
+
+    def test_header_only_file_is_valid(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n", encoding="utf-8")
+        back = read_csv(path)
+        assert back.columns == ("a", "b")
+        assert back.num_rows == 0
+
+    def test_empty_header_rejected(self, tmp_path):
+        from repro.runtime.errors import InputError
+
+        path = tmp_path / "t.csv"
+        path.write_text("\n1,2\n", encoding="utf-8")
+        with pytest.raises(InputError, match="no columns"):
+            read_csv(path)
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        from repro.runtime.errors import InputError
+
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\n", encoding="utf-8")
+        with pytest.raises(InputError, match="unknown on_error policy"):
+            read_csv(path, on_error="mend")
+
+    def test_errors_are_value_errors(self, tmp_path):
+        # InputError subclasses ValueError for pre-taxonomy callers.
+        with pytest.raises(ValueError):
+            read_csv(tmp_path / "absent.csv")
+
+
 class TestBundledDatasets:
     def test_address_shape(self):
         instance = address_example()

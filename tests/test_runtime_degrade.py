@@ -1,0 +1,175 @@
+"""Tests for the degradation ladder and fidelity reporting."""
+
+import pytest
+
+from repro.discovery.hyfd import HyFD
+from repro.model.fd import FDSet
+from repro.runtime.degrade import (
+    FidelityReport,
+    RelationFidelity,
+    StageAttempt,
+    discover_with_ladder,
+    sample_instance_rows,
+)
+from repro.runtime.errors import BudgetExceeded
+from repro.runtime.governor import Budget, Governor
+from tests.helpers import canon_fds, fd_holds
+
+
+class BreachingAlgorithm:
+    """A stand-in discoverer that always breaches its budget."""
+
+    null_equals_null = True
+    max_lhs_size = None
+
+    def __init__(self, name="hyfd", partial=None, partial_exact=True):
+        self.name = name
+        self.partial = partial
+        self.partial_exact = partial_exact
+
+    def discover(self, instance):
+        exc = BudgetExceeded("deadline", stage=self.name)
+        if self.partial is not None:
+            exc.attach_partial(self.partial, exact=self.partial_exact)
+        raise exc
+
+
+class TestUngoverned:
+    def test_plain_discovery_without_governor(self, address):
+        fds, fidelity = discover_with_ladder(address, HyFD())
+        assert fidelity.exact
+        assert fidelity.sound
+        assert [a.outcome for a in fidelity.attempts] == ["ok"]
+        assert canon_fds(fds) == canon_fds(HyFD().discover(address))
+
+
+class TestLadderDescent:
+    def test_rung_one_success_is_exact(self, address):
+        governor = Governor(Budget(deadline_seconds=60.0))
+        fds, fidelity = discover_with_ladder(address, HyFD(), governor)
+        assert fidelity.fidelity == "exact"
+        assert fidelity.sound
+        assert fidelity.attempts[0].stage == "hyfd"
+        assert fidelity.attempts[0].outcome == "ok"
+
+    def test_primary_breach_falls_to_dfd(self, address):
+        governor = Governor(Budget(deadline_seconds=60.0))
+        fds, fidelity = discover_with_ladder(
+            address, BreachingAlgorithm(), governor
+        )
+        # DFD is an exact algorithm, so the *result* stays exact even
+        # though the run was degraded to a fallback rung.
+        assert fidelity.fidelity == "exact"
+        assert [a.stage for a in fidelity.attempts] == ["hyfd", "dfd"]
+        assert [a.outcome for a in fidelity.attempts] == ["breach", "ok"]
+        assert canon_fds(fds) == canon_fds(HyFD().discover(address))
+
+    def test_dfd_primary_skips_duplicate_rung(self, address):
+        governor = Governor(Budget(deadline_seconds=60.0))
+        fds, fidelity = discover_with_ladder(
+            address, BreachingAlgorithm(name="dfd"), governor, sample_rows=1024
+        )
+        stages = [a.stage for a in fidelity.attempts]
+        assert stages == ["dfd", "sampled"]
+
+    def test_sampled_rung_verifies_against_full_relation(self, address):
+        governor = Governor(Budget(deadline_seconds=60.0))
+        fds, fidelity = discover_with_ladder(
+            address,
+            BreachingAlgorithm(name="dfd"),
+            governor,
+            sample_rows=4,  # address has 6 rows: forces real sampling
+        )
+        assert fidelity.fidelity == "sampled"
+        assert fidelity.sampled_rows == 4
+        assert fidelity.sound  # approx_error=0: only exact holds survive
+        for lhs, rhs_attr in canon_fds(fds):
+            assert fd_holds(address, lhs, 1 << rhs_attr)
+
+    def test_all_rungs_breach_returns_best_partial(self, address):
+        partial = FDSet(address.arity)
+        partial.add_masks(0b00001, 0b00010)
+        governor = Governor(Budget(max_candidates=1, check_interval=1))
+        # The fake primary breaches with an exact partial; the real DFD
+        # and sampled rungs then breach on the shared candidate cap.
+        fds, fidelity = discover_with_ladder(
+            address,
+            BreachingAlgorithm(partial=partial, partial_exact=True),
+            governor,
+        )
+        assert fidelity.fidelity in ("partial", "none")
+        if fidelity.fidelity == "partial":
+            assert len(fds) >= 1
+
+    def test_inexact_partial_marks_unsound(self, address):
+        partial = FDSet(address.arity)
+        partial.add_masks(0b00001, 0b00010)
+        governor = Governor(Budget(max_candidates=1, check_interval=1))
+        fds, fidelity = discover_with_ladder(
+            address,
+            BreachingAlgorithm(partial=partial, partial_exact=False),
+            governor,
+        )
+        if fidelity.fidelity == "partial" and not fidelity.sound:
+            assert fidelity.notes  # warns about unvalidated candidates
+
+    def test_degrade_false_propagates_breach(self, address):
+        governor = Governor(Budget(deadline_seconds=60.0))
+        with pytest.raises(BudgetExceeded):
+            discover_with_ladder(
+                address, BreachingAlgorithm(), governor, degrade=False
+            )
+
+
+class TestSampling:
+    def test_sampling_is_deterministic(self, university):
+        first, n1 = sample_instance_rows(university, 4, seed=7)
+        second, n2 = sample_instance_rows(university, 4, seed=7)
+        assert n1 == n2 == 4
+        assert list(first.iter_rows()) == list(second.iter_rows())
+
+    def test_small_instance_returned_verbatim(self, address):
+        sample, n = sample_instance_rows(address, 100, seed=7)
+        assert sample is address
+        assert n == address.num_rows
+
+
+class TestFidelitySerialization:
+    def make_report(self):
+        fidelity = RelationFidelity(
+            relation="r",
+            fidelity="sampled",
+            attempts=[
+                StageAttempt("hyfd", "breach", reason="deadline", seconds=1.5),
+                StageAttempt("sampled", "ok", seconds=0.5, num_fds=3),
+            ],
+            sampled_rows=128,
+            notes=["note"],
+            sound=False,
+        )
+        return FidelityReport(relations={"r": fidelity}, events=["event"])
+
+    def test_json_round_trip(self):
+        report = self.make_report()
+        back = FidelityReport.from_json(report.to_json())
+        assert back.to_json() == report.to_json()
+        assert back.relations["r"].sound is False
+
+    def test_sound_defaults_true_for_old_payloads(self):
+        payload = self.make_report().relations["r"].to_json()
+        del payload["sound"]
+        assert RelationFidelity.from_json(payload).sound is True
+
+    def test_degraded_property(self):
+        assert self.make_report().degraded
+        clean = FidelityReport(
+            relations={"r": RelationFidelity(relation="r")}
+        )
+        assert not clean.degraded
+        clean.events.append("truncated")
+        assert clean.degraded
+
+    def test_to_str_mentions_degradation(self):
+        text = self.make_report().to_str()
+        assert "DEGRADED" in text
+        assert "sampled" in text

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: verify fuzz fuzz-faults bench bench-engine
+.PHONY: verify fuzz fuzz-faults fuzz-incremental bench bench-engine bench-incremental
 
 # Tier-1 suite — the gate every change must keep green (see ROADMAP.md).
 verify:
@@ -18,6 +18,12 @@ fuzz:
 fuzz-faults:
 	PYTHONPATH=src $(PYTHON) -m repro verify --faults --seeds 25
 
+# Incremental-differential campaign: seeded batch streams against the
+# incremental engine, asserting byte-identical covers/keys/DDL vs
+# from-scratch runs (docs/INCREMENTAL.md).
+fuzz-incremental:
+	PYTHONPATH=src $(PYTHON) -m repro verify --incremental --seeds 25 --batches 10
+
 # Full paper-reproduction benchmark harness (writes benchmarks/results/).
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
@@ -25,3 +31,7 @@ bench:
 # Partition-engine micro-benchmarks only (the PLI hot path).
 bench-engine:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_partition_engine.py --benchmark-only -q
+
+# Incremental maintenance vs. full re-discovery under append streams.
+bench-incremental:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_incremental.py --benchmark-only -q

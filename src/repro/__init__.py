@@ -46,6 +46,7 @@ from repro.discovery import (
     discover_fds,
     discover_uccs,
 )
+from repro.incremental import ChangeBatch, ChangeLog, IncrementalNormalizer
 from repro.io.csv_io import read_csv, write_csv
 from repro.io.datasets import address_example, planets_example
 from repro.io.ddl import schema_to_ddl
@@ -62,11 +63,14 @@ __all__ = [
     "AutoDecider",
     "BruteForceFD",
     "CallbackDecider",
+    "ChangeBatch",
+    "ChangeLog",
     "Decider",
     "DuccUCC",
     "FDSet",
     "ForeignKey",
     "HyFD",
+    "IncrementalNormalizer",
     "NaiveUCC",
     "NormalizationResult",
     "Normalizer",

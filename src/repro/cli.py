@@ -17,6 +17,11 @@ A single subcommand hosts the correctness harness (see
 
     repro verify --seeds 50
     python -m repro verify --seeds 200 --repro-out shrunk_repros.py
+
+Two subcommands host the incremental engine (``docs/INCREMENTAL.md``)::
+
+    repro apply-batch data.csv --changes changes.json --report
+    repro watch data.csv --changes changes.jsonl --interval 2
 """
 
 from __future__ import annotations
@@ -254,6 +259,10 @@ def main(argv: list[str] | None = None) -> int:
 
         return main_verify(argv[1:])
     try:
+        if argv and argv[0] == "apply-batch":
+            return _main_apply_batch(argv[1:], watch=False)
+        if argv and argv[0] == "watch":
+            return _main_apply_batch(argv[1:], watch=True)
         return _main_normalize(argv)
     except BudgetExceeded as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -408,6 +417,250 @@ def _main_normalize(argv: list[str]) -> int:
             _json.dumps(result_to_json(result), indent=2), encoding="utf-8"
         )
         print(f"Result JSON written to {args.json}")
+    if args.out_dir:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, instance in result.instances.items():
+            write_csv(instance, out_dir / f"{name}.csv")
+        print(f"{len(result.instances)} relations written to {out_dir}/")
+    return 0
+
+
+def build_apply_batch_parser(watch: bool = False) -> argparse.ArgumentParser:
+    """Parser of ``repro apply-batch`` / ``repro watch``."""
+    prog = "repro watch" if watch else "repro apply-batch"
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Maintain a normalized schema under batched inserts/deletes "
+            "(the incremental engine; see docs/INCREMENTAL.md)."
+        ),
+    )
+    parser.add_argument(
+        "files", nargs="+", help="input CSV files (the original relations)"
+    )
+    parser.add_argument(
+        "--changes",
+        metavar="FILE",
+        required=True,
+        help="change log: a repro/changelog JSON document or JSON-Lines "
+        "(one batch object per line)",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="print a per-batch, per-relation violation and fidelity summary",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="hyfd",
+        choices=("hyfd", "tane", "dfd", "bruteforce"),
+        help="FD discovery algorithm for the initial run (default: hyfd)",
+    )
+    parser.add_argument(
+        "--target",
+        default="bcnf",
+        choices=("bcnf", "3nf"),
+        help="normal form to maintain (default: bcnf)",
+    )
+    parser.add_argument(
+        "--closure",
+        default="optimized",
+        choices=("naive", "improved", "optimized"),
+        help="closure algorithm (default: optimized)",
+    )
+    parser.add_argument(
+        "--delimiter", default=",", help="CSV field delimiter (default: ,)"
+    )
+    parser.add_argument(
+        "--no-header",
+        action="store_true",
+        help="input files have no header row",
+    )
+    parser.add_argument(
+        "--csv-errors",
+        default="strict",
+        choices=("strict", "pad", "skip"),
+        help="how to treat malformed CSV rows (default: strict)",
+    )
+    parser.add_argument(
+        "--ddl",
+        metavar="FILE",
+        help="write the final schema's CREATE TABLE statements here",
+    )
+    parser.add_argument(
+        "--migration",
+        metavar="FILE",
+        help="write the per-batch migration plans (ordered DDL) here",
+    )
+    parser.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        help="write one CSV per final normalized relation into this directory",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="journal engine state here after every batch (atomic writes)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --journal if it exists: already-applied batches "
+        "are replayed as raw edits, covers are restored, discovery is skipped",
+    )
+    governance = parser.add_argument_group("resource governance")
+    governance.add_argument(
+        "--deadline",
+        metavar="DURATION",
+        help="wall-clock budget per batch (and for the initial run), "
+        "e.g. 5s, 250ms, 2m",
+    )
+    governance.add_argument(
+        "--memory-limit",
+        metavar="SIZE",
+        help="peak resident-memory ceiling, e.g. 512MB, 2gb",
+    )
+    governance.add_argument(
+        "--max-candidates",
+        type=int,
+        metavar="N",
+        help="cap on candidate work units per governed phase",
+    )
+    if watch:
+        parser.add_argument(
+            "--interval",
+            type=float,
+            default=2.0,
+            metavar="SECONDS",
+            help="poll interval for new batches in the change log "
+            "(default: 2.0)",
+        )
+        parser.add_argument(
+            "--once",
+            action="store_true",
+            help="apply whatever the change log currently holds, then exit",
+        )
+        parser.add_argument(
+            "--max-batches",
+            type=int,
+            default=None,
+            metavar="N",
+            help="exit after this many batches have been applied in total",
+        )
+    return parser
+
+
+def _main_apply_batch(argv: list[str], watch: bool) -> int:
+    import time as _time
+
+    from repro.incremental import IncrementalNormalizer, resume_engine
+    from repro.io.serialization import load_changelog
+
+    args = build_apply_batch_parser(watch=watch).parse_args(argv)
+    instances = [
+        read_csv(
+            path,
+            delimiter=args.delimiter,
+            has_header=not args.no_header,
+            on_error=args.csv_errors,
+        )
+        for path in args.files
+    ]
+
+    budget = None
+    if args.deadline or args.memory_limit or args.max_candidates:
+        budget = Budget(
+            deadline_seconds=(
+                parse_duration(args.deadline) if args.deadline else None
+            ),
+            max_memory_bytes=(
+                parse_memory(args.memory_limit) if args.memory_limit else None
+            ),
+            max_candidates=args.max_candidates,
+        )
+
+    if args.resume and not args.journal:
+        raise InputError("--resume requires --journal FILE")
+
+    engine_kwargs = dict(
+        algorithm=args.algorithm,
+        target=args.target,
+        closure_algorithm=args.closure,
+        budget=budget,
+    )
+    log = load_changelog(args.changes, coerce_str=True)
+    if args.resume and Path(args.journal).exists():
+        engine = resume_engine(
+            instances, log.batches, args.journal, **engine_kwargs
+        )
+        print(
+            f"resumed from {args.journal}: {engine.applied_batches} "
+            "batch(es) already applied"
+        )
+    else:
+        engine = IncrementalNormalizer(
+            instances, journal_path=args.journal, **engine_kwargs
+        )
+
+    migration_log: list[str] = []
+
+    def apply_pending() -> int:
+        current = load_changelog(args.changes, coerce_str=True)
+        applied = 0
+        while engine.applied_batches < len(current):
+            outcome = engine.apply_batch(current[engine.applied_batches])
+            applied += 1
+            if args.report:
+                print(outcome.to_str())
+            if outcome.schema_changed:
+                migration_log.append(
+                    f"-- batch {outcome.batch_index} "
+                    f"({outcome.relation})\n" + outcome.migration.to_sql()
+                )
+        return applied
+
+    if watch:
+        limit = args.max_batches
+        try:
+            while True:
+                apply_pending()
+                if args.once:
+                    break
+                if limit is not None and engine.applied_batches >= limit:
+                    break
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            print("\nstopped")
+    else:
+        apply_pending()
+
+    result = engine.result
+    assert result is not None
+    print(
+        f"applied {engine.applied_batches} batch(es); schema has "
+        f"{len(result.instances)} relation(s)"
+    )
+    for name in engine.relation_names():
+        cover = engine.fd_cover(name)
+        print(
+            f"[{name}] {cover.count_single_rhs()} minimal FDs, "
+            f"{len(engine.key_cover(name))} minimal key(s), "
+            f"{engine.live(name).num_rows} row(s)"
+        )
+    print(result.schema.to_str())
+
+    if args.ddl:
+        Path(args.ddl).write_text(engine.ddl(), encoding="utf-8")
+        print(f"DDL written to {args.ddl}")
+    if args.migration:
+        text = (
+            "\n".join(migration_log)
+            if migration_log
+            else "-- No schema changes.\n"
+        )
+        Path(args.migration).write_text(text, encoding="utf-8")
+        print(f"Migration plans written to {args.migration}")
     if args.out_dir:
         out_dir = Path(args.out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)

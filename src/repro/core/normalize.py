@@ -164,6 +164,13 @@ class Normalizer:
         self.approx_error = approx_error
         self.checkpoint_path = checkpoint_path
         self.fault_plan = fault_plan
+        #: Optional cache of steps 2–4 results, keyed by (relation name,
+        #: closure algorithm, cover fingerprint).  The incremental engine
+        #: installs a dict here so relations whose maintained cover did
+        #: not change skip closure/key/violation recomputation entirely.
+        #: Callers must feed canonically-ordered FD sets (same content ⇒
+        #: same iteration order), which every discoverer guarantees.
+        self.closure_cache: dict | None = None
 
     # ------------------------------------------------------------------
     # Pipeline
@@ -230,28 +237,56 @@ class Normalizer:
                 item = _WorkItem(
                     instance, fds, exact=fidelity.exact, sound=fidelity.sound
                 )
+                cache_key = None
+                if self.closure_cache is not None:
+                    cache_key = (
+                        instance.name,
+                        self._closure_for(fidelity),
+                        tuple(sorted(fds.items())),
+                    )
+                cached = (
+                    self.closure_cache.get(cache_key)
+                    if cache_key is not None
+                    else None
+                )
                 started = time.perf_counter()
                 try:
-                    extended = calculate_closure(
-                        fds, self._closure_for(fidelity)
-                    )
-                    closure_seconds = time.perf_counter() - started
-                    item.fds = extended
+                    if cached is not None:
+                        # Cover unchanged since a previous run: reuse its
+                        # closure and derived keys (the violating-FD scan
+                        # here only feeds timing stats and is recomputed
+                        # per work item anyway).
+                        extended = cached[0].copy()
+                        keys = list(cached[1])
+                        closure_seconds = time.perf_counter() - started
+                        key_seconds = violation_seconds = 0.0
+                        item.fds = extended
+                    else:
+                        extended = calculate_closure(
+                            fds, self._closure_for(fidelity)
+                        )
+                        closure_seconds = time.perf_counter() - started
+                        item.fds = extended
 
-                    started = time.perf_counter()
-                    keys = derive_keys(extended, instance.full_mask())
-                    key_seconds = time.perf_counter() - started
+                        started = time.perf_counter()
+                        keys = derive_keys(extended, instance.full_mask())
+                        key_seconds = time.perf_counter() - started
 
-                    started = time.perf_counter()
-                    find_violating_fds(
-                        extended,
-                        keys,
-                        null_mask=self._null_mask(instance),
-                        primary_key=instance.relation.primary_key_mask,
-                        foreign_keys=instance.relation.foreign_key_masks(),
-                        target=self.target,
-                    )
-                    violation_seconds = time.perf_counter() - started
+                        started = time.perf_counter()
+                        find_violating_fds(
+                            extended,
+                            keys,
+                            null_mask=self._null_mask(instance),
+                            primary_key=instance.relation.primary_key_mask,
+                            foreign_keys=instance.relation.foreign_key_masks(),
+                            target=self.target,
+                        )
+                        violation_seconds = time.perf_counter() - started
+                        if cache_key is not None:
+                            self.closure_cache[cache_key] = (
+                                extended.copy(),
+                                list(keys),
+                            )
                 except BudgetExceeded as exc:
                     # Closure / key-derivation breached: keep the raw
                     # (unextended) FDs — fewer violations will be found,

@@ -1,0 +1,49 @@
+"""Incremental normalization — maintain the schema under changing data.
+
+The paper's §9 leaves dynamic data as an open question; this package
+answers it for batched inserts and deletes.  Instead of re-profiling
+and re-normalizing the whole instance after every change, the engine
+
+* maintains the columnar dictionary encoding and single-attribute
+  PLIs append-only (:mod:`repro.incremental.structures`),
+* maintains the minimal FD cover and the minimal-UCC (key) cover
+  EAIFD-style on the existing HyFD structures — new record pairs only
+  refute and specialize; deletes rebuild from a maintained agree-set
+  multiset (:mod:`repro.incremental.cover`),
+* re-runs only the cheap tail of the pipeline (closure → keys →
+  decomposition) with the maintained covers plugged in as
+  :class:`~repro.discovery.precomputed.PrecomputedFDs`
+  (:mod:`repro.incremental.engine`), and
+* emits an ordered migration plan from the previous to the new schema
+  (:mod:`repro.incremental.migration`).
+
+The correctness contract, enforced by ``repro verify --incremental``:
+after every batch the maintained FD cover, key set, and emitted DDL are
+byte-identical to a from-scratch :func:`repro.normalize` of the updated
+instance.
+"""
+
+from repro.incremental.changes import ChangeBatch, ChangeLog
+from repro.incremental.cover import CoverDelta, IncrementalCover
+from repro.incremental.engine import BatchOutcome, IncrementalNormalizer
+from repro.incremental.journal import load_journal, resume_engine, save_journal
+from repro.incremental.migration import MigrationPlan
+from repro.incremental.monitor import ConstraintMonitor, ConstraintViolation
+from repro.incremental.structures import LiveRelation, MutableColumnPartition
+
+__all__ = [
+    "BatchOutcome",
+    "ChangeBatch",
+    "ChangeLog",
+    "ConstraintMonitor",
+    "ConstraintViolation",
+    "CoverDelta",
+    "IncrementalCover",
+    "IncrementalNormalizer",
+    "LiveRelation",
+    "MigrationPlan",
+    "MutableColumnPartition",
+    "load_journal",
+    "resume_engine",
+    "save_journal",
+]

@@ -1,0 +1,105 @@
+"""Change batches: the unit of work of the incremental engine.
+
+A :class:`ChangeBatch` describes one atomic set of edits against an
+*original* (denormalized) relation: rows to insert (full-width tuples)
+and rows to delete (by **stable row id**).  Row ids are assigned by the
+engine — the initial rows of a relation get ids ``0..n-1`` and every
+inserted row gets the next id, so ids survive deletes (positions do
+not) and a change log replays deterministically.
+
+A :class:`ChangeLog` is an ordered sequence of batches.  Both types are
+plain data; JSON (de)serialization lives in
+:mod:`repro.io.serialization` (``changelog_to_json`` /
+``changelog_from_json``) next to the other on-disk formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.runtime.errors import InputError
+
+__all__ = ["ChangeBatch", "ChangeLog"]
+
+Row = tuple[Any, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeBatch:
+    """One atomic batch of inserts and deletes against one relation.
+
+    ``relation`` may be ``None`` when the engine manages a single
+    original (the common case); with several originals it must name
+    the target.  Deletes are applied before inserts, so a batch can
+    replace a row under its key without tripping over itself.
+    """
+
+    inserts: tuple[Row, ...] = ()
+    deletes: tuple[int, ...] = ()
+    relation: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "inserts", tuple(tuple(row) for row in self.inserts)
+        )
+        object.__setattr__(self, "deletes", tuple(self.deletes))
+        if len(set(self.deletes)) != len(self.deletes):
+            raise InputError("duplicate row ids in deletes")
+        for row_id in self.deletes:
+            if not isinstance(row_id, int) or row_id < 0:
+                raise InputError(f"row ids are non-negative ints, got {row_id!r}")
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.inserts and not self.deletes
+
+    def to_json(self) -> dict:
+        return {
+            "relation": self.relation,
+            "inserts": [list(row) for row in self.inserts],
+            "deletes": list(self.deletes),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict, coerce_str: bool = False) -> "ChangeBatch":
+        """Build a batch from its JSON object.
+
+        ``coerce_str=True`` converts non-NULL scalars to strings — the
+        CSV reader represents every value as a string, so batches fed
+        to a CSV-backed engine must match (``42`` and ``"42"`` are
+        different values to FD discovery).
+        """
+        try:
+            inserts = [tuple(row) for row in payload.get("inserts", ())]
+            deletes = tuple(payload.get("deletes", ()))
+            relation = payload.get("relation")
+        except (TypeError, AttributeError) as exc:
+            raise InputError(f"malformed change batch: {exc}") from exc
+        if coerce_str:
+            inserts = [
+                tuple(
+                    value if value is None else str(value) for value in row
+                )
+                for row in inserts
+            ]
+        return cls(inserts=tuple(inserts), deletes=deletes, relation=relation)
+
+
+@dataclass(slots=True)
+class ChangeLog:
+    """An ordered sequence of change batches."""
+
+    batches: list[ChangeBatch] = field(default_factory=list)
+
+    def append(self, batch: ChangeBatch) -> None:
+        self.batches.append(batch)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def __iter__(self) -> Iterator[ChangeBatch]:
+        return iter(self.batches)
+
+    def __getitem__(self, index: int) -> ChangeBatch:
+        return self.batches[index]

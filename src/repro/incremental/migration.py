@@ -1,0 +1,163 @@
+"""Migration plans: ordered DDL taking the old schema to the new one.
+
+After a batch changes a relation's FD cover, the engine re-decomposes
+and the normalized schema may gain, lose, or reshape relations.  A
+:class:`MigrationPlan` is the diff between the schema before and after
+one batch, rendered as an ordered, executable SQL script:
+
+1. **create** — new relations, referenced-first (topological along
+   foreign keys, the same order the DDL export uses),
+2. **backfill** — each new relation is populated from its *original*
+   relation's staging table via ``INSERT … SELECT DISTINCT`` (the
+   projection Π that decomposition performs; DISTINCT is what makes
+   the natural join of the fragments reproduce the original — the
+   lossless-join guarantee of Theorem 2 carries over),
+3. **rebuild** — relations whose column set or constraints changed are
+   rebuilt under ``<name>__new`` and swapped in, so their dependents
+   never see a half-migrated table,
+4. **drop** — relations that no longer exist, dependents-first.
+
+The plan assumes the updated original data is reachable as
+``<original>__staging`` (one table per input relation); the header
+comment restates this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.io.ddl import _topological, create_table_statement, quote_identifier
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation, Schema
+
+__all__ = ["MigrationPlan"]
+
+
+def _signature(relation: Relation) -> tuple:
+    """Everything that makes two same-named relations interchangeable."""
+    return (
+        relation.columns,
+        relation.primary_key,
+        tuple(
+            (fk.columns, fk.ref_relation, fk.ref_columns)
+            for fk in relation.foreign_keys
+        ),
+    )
+
+
+def _staging_name(original: str) -> str:
+    return f"{original}__staging"
+
+
+@dataclass(slots=True)
+class MigrationPlan:
+    """The ordered DDL diff between two normalized schemas."""
+
+    created: list[str] = field(default_factory=list)
+    rebuilt: list[str] = field(default_factory=list)
+    dropped: list[str] = field(default_factory=list)
+    unchanged: list[str] = field(default_factory=list)
+    statements: list[str] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.created or self.rebuilt or self.dropped)
+
+    @classmethod
+    def diff(
+        cls,
+        old_schema: Schema,
+        new_schema: Schema,
+        origin_of: dict[str, str],
+        instances: dict[str, RelationInstance] | None = None,
+    ) -> "MigrationPlan":
+        """Plan the migration from ``old_schema`` to ``new_schema``.
+
+        ``origin_of`` maps each new relation name to the original
+        (input) relation it was decomposed from — the staging table
+        its backfill reads.  ``instances`` (the new result's data)
+        drives column-type inference, exactly like the DDL export.
+        """
+        old_by_name = {relation.name: relation for relation in old_schema}
+        new_by_name = {relation.name: relation for relation in new_schema}
+
+        plan = cls()
+        ordered_new = _topological(new_schema)
+        for relation in ordered_new:
+            old = old_by_name.get(relation.name)
+            if old is None:
+                plan.created.append(relation.name)
+            elif _signature(old) != _signature(relation):
+                plan.rebuilt.append(relation.name)
+            else:
+                plan.unchanged.append(relation.name)
+        plan.dropped = sorted(
+            name for name in old_by_name if name not in new_by_name
+        )
+
+        if plan.is_empty:
+            return plan
+
+        statements = plan.statements
+        statements.append(
+            "-- Migration plan: assumes each updated original relation is "
+            "loaded as its"
+        )
+        statements.append(
+            "-- <original>__staging table; fragments are backfilled with "
+            "SELECT DISTINCT"
+        )
+        statements.append(
+            "-- projections, so natural-joining them reproduces the "
+            "original (lossless join)."
+        )
+        for relation in ordered_new:
+            if relation.name in plan.created:
+                statements.append(
+                    create_table_statement(relation, instances)
+                )
+                statements.append(
+                    plan._backfill(relation, origin_of[relation.name])
+                )
+        for relation in ordered_new:
+            if relation.name in plan.rebuilt:
+                staged = f"{relation.name}__new"
+                statements.append(
+                    create_table_statement(relation, instances, name=staged)
+                )
+                statements.append(
+                    plan._backfill(
+                        relation, origin_of[relation.name], into=staged
+                    )
+                )
+                statements.append(
+                    f"DROP TABLE {quote_identifier(relation.name)};"
+                )
+                statements.append(
+                    f"ALTER TABLE {quote_identifier(staged)} RENAME TO "
+                    f"{quote_identifier(relation.name)};"
+                )
+        for name in plan.dropped:
+            statements.append(f"DROP TABLE {quote_identifier(name)};")
+        return plan
+
+    @staticmethod
+    def _backfill(relation: Relation, origin: str, into: str | None = None) -> str:
+        columns = ", ".join(quote_identifier(c) for c in relation.columns)
+        target = quote_identifier(into or relation.name)
+        staging = quote_identifier(_staging_name(origin))
+        return (
+            f"INSERT INTO {target} ({columns}) "
+            f"SELECT DISTINCT {columns} FROM {staging};"
+        )
+
+    def to_sql(self) -> str:
+        if self.is_empty:
+            return "-- No schema changes.\n"
+        return "\n".join(self.statements) + "\n"
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.created)} created, {len(self.rebuilt)} rebuilt, "
+            f"{len(self.dropped)} dropped, {len(self.unchanged)} unchanged"
+        )

@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.model.instance import RelationInstance
 from repro.model.schema import Relation, Schema
 
-__all__ = ["schema_to_ddl"]
+__all__ = ["create_table_statement", "quote_identifier", "schema_to_ddl"]
 
 
 def schema_to_ddl(
@@ -33,6 +33,37 @@ def schema_to_ddl(
         for relation in _topological(schema)
     ]
     return "\n\n".join(statements) + "\n"
+
+
+def create_table_statement(
+    relation: Relation,
+    instances: dict[str, RelationInstance] | None = None,
+    dialect_text_type: str = "TEXT",
+    name: str | None = None,
+) -> str:
+    """One ``CREATE TABLE`` statement for a single relation.
+
+    The migration planner (:mod:`repro.incremental.migration`) emits
+    these outside full-schema exports; ``name`` optionally overrides
+    the table name (e.g. for ``<table>__new`` rebuild staging) while
+    type inference still reads the instance under the relation's name.
+    """
+    if name is None:
+        return _create_table(relation, instances, dialect_text_type)
+    renamed = Relation(
+        name,
+        relation.columns,
+        primary_key=relation.primary_key,
+        foreign_keys=list(relation.foreign_keys),
+    )
+    instance = (instances or {}).get(relation.name)
+    lookup = {name: instance} if instance is not None else None
+    return _create_table(renamed, lookup, dialect_text_type)
+
+
+def quote_identifier(identifier: str) -> str:
+    """SQL-quote an identifier the same way the DDL export does."""
+    return _quote(identifier)
 
 
 def _topological(schema: Schema) -> list[Relation]:

@@ -27,12 +27,16 @@ from repro.model.fd import FDSet
 from repro.model.schema import ForeignKey, Relation, Schema
 
 __all__ = [
+    "changelog_from_json",
+    "changelog_to_json",
     "checkpoint_from_json",
     "checkpoint_to_json",
     "fdset_from_json",
     "fdset_to_json",
+    "load_changelog",
     "load_fdset",
     "result_to_json",
+    "save_changelog",
     "save_fdset",
     "schema_from_json",
     "schema_to_json",
@@ -190,6 +194,106 @@ def result_to_json(result: NormalizationResult) -> dict:
             result.fidelity.to_json() if result.fidelity is not None else None
         ),
     }
+
+
+# ----------------------------------------------------------------------
+# Change logs (see repro.incremental.changes)
+# ----------------------------------------------------------------------
+def changelog_to_json(log) -> dict:
+    """Serialize a :class:`~repro.incremental.changes.ChangeLog`."""
+    return {
+        "format": "repro/changelog",
+        "version": 1,
+        "batches": [batch.to_json() for batch in log],
+    }
+
+
+def changelog_from_json(payload: dict, coerce_str: bool = False):
+    """Deserialize a change-log document.
+
+    ``coerce_str=True`` stringifies non-NULL scalar values, matching the
+    all-strings value domain of CSV-backed instances (the CLI always
+    sets it).  Raises :class:`~repro.runtime.errors.InputError` on
+    malformed documents so the CLI boundary reports them as bad input.
+    """
+    from repro.incremental.changes import ChangeBatch, ChangeLog
+    from repro.runtime.errors import InputError
+
+    if payload.get("format") != "repro/changelog":
+        raise InputError(
+            f"not a repro changelog (format={payload.get('format')!r})"
+        )
+    if payload.get("version") != 1:
+        raise InputError(
+            f"unsupported changelog version {payload.get('version')!r}"
+        )
+    try:
+        batches = [
+            ChangeBatch.from_json(entry, coerce_str=coerce_str)
+            for entry in payload["batches"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise InputError(f"malformed changelog document: {exc}") from exc
+    return ChangeLog(batches)
+
+
+def save_changelog(log, path: str | Path) -> None:
+    """Write a change log to a JSON file."""
+    Path(path).write_text(
+        json.dumps(changelog_to_json(log), indent=2), encoding="utf-8"
+    )
+
+
+def load_changelog(path: str | Path, coerce_str: bool = False):
+    """Read a change log: one JSON document, or JSON-Lines batches.
+
+    The JSONL form (one batch object per line, no wrapper) is what
+    ``repro watch`` tails — producers can append batches with a plain
+    ``echo >>``.
+    """
+    from repro.incremental.changes import ChangeBatch, ChangeLog
+    from repro.runtime.errors import InputError
+
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise InputError(f"cannot read changelog {path}: {exc}") from exc
+    stripped = text.strip()
+    if not stripped:
+        return ChangeLog([])
+    try:
+        payload = json.loads(stripped)
+    except ValueError:
+        payload = None
+    if isinstance(payload, dict):
+        # A single-line JSONL stream parses as one bare batch object;
+        # anything else dict-shaped must be a changelog document.
+        if "inserts" in payload or "deletes" in payload:
+            return ChangeLog(
+                [ChangeBatch.from_json(payload, coerce_str=coerce_str)]
+            )
+        return changelog_from_json(payload, coerce_str=coerce_str)
+    if isinstance(payload, list):
+        return ChangeLog(
+            [
+                ChangeBatch.from_json(entry, coerce_str=coerce_str)
+                for entry in payload
+            ]
+        )
+    # JSONL: one batch object per non-empty line.
+    batches = []
+    for number, line in enumerate(stripped.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError as exc:
+            raise InputError(
+                f"changelog {path} line {number} is not valid JSON: {exc}"
+            ) from exc
+        batches.append(ChangeBatch.from_json(entry, coerce_str=coerce_str))
+    return ChangeLog(batches)
 
 
 # ----------------------------------------------------------------------

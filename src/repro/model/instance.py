@@ -27,7 +27,7 @@ Row = tuple[Any, ...]
 class RelationInstance:
     """A relation schema plus its data, stored column-major."""
 
-    __slots__ = ("relation", "columns_data", "_encodings")
+    __slots__ = ("relation", "columns_data", "_encodings", "_data_version")
 
     def __init__(self, relation: Relation, columns_data: Sequence[list]) -> None:
         if len(columns_data) != relation.arity:
@@ -41,6 +41,7 @@ class RelationInstance:
         self.relation = relation
         self.columns_data: list[list] = [list(column) for column in columns_data]
         self._encodings: dict[bool, Any] = {}
+        self._data_version = 0
 
     # ------------------------------------------------------------------
     # Columnar value encoding (the PLI hot path's substrate)
@@ -51,18 +52,40 @@ class RelationInstance:
         Returns the shared :class:`~repro.structures.encoding.EncodedRelation`
         that PLI construction, validation, and sampling all index instead
         of re-deriving value ids from the raw Python objects.  The memo
-        is invalidated when rows are appended in place (the incremental
-        extension does this); cell mutation in place is not supported
-        anywhere in the library.
+        is invalidated when rows are appended in place (the row-count
+        check, kept for callers that mutate ``columns_data`` directly)
+        and when :meth:`invalidate_caches` bumps the data version — the
+        incremental engine does the latter after deletes, where the row
+        count alone could miss a same-size delete+insert batch.
         """
         from repro.structures.encoding import EncodedRelation
 
         cached = self._encodings.get(null_equals_null)
-        if cached is not None and cached.num_rows == self.num_rows:
-            return cached
+        if (
+            cached is not None
+            and cached[0] == self._data_version
+            and cached[1].num_rows == self.num_rows
+        ):
+            return cached[1]
         encoding = EncodedRelation.encode(self.columns_data, null_equals_null)
-        self._encodings[null_equals_null] = encoding
+        self._encodings[null_equals_null] = (self._data_version, encoding)
         return encoding
+
+    def invalidate_caches(self) -> None:
+        """Drop memoized encodings after an in-place data mutation."""
+        self._data_version += 1
+        self._encodings.clear()
+
+    def install_encoding(self, null_equals_null: bool, encoding: Any) -> None:
+        """Adopt an incrementally-maintained encoding as the current memo.
+
+        The incremental engine maintains an
+        :class:`~repro.structures.encoding.EncodedRelation` under
+        appends/deletes itself; installing it here lets every
+        ``encoded()`` consumer (PLI cache, validation, sampling) reuse
+        it instead of re-encoding from the raw values.
+        """
+        self._encodings[null_equals_null] = (self._data_version, encoding)
 
     # ------------------------------------------------------------------
     # Constructors

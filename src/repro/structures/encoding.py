@@ -19,6 +19,16 @@ Encoding rules (identical to the classic ``column_value_ids`` helper):
 
 The module deliberately imports nothing from :mod:`repro.model` so the
 model layer can depend on it without cycles.
+
+For the incremental engine (``repro.incremental``) an encoding is also
+*maintainable*: :meth:`EncodedRelation.extend` grows the per-column
+dictionaries append-only (new values get fresh ids, existing values
+reuse their id), and :meth:`EncodedRelation.remove_rows` compacts the
+code vectors after a delete.  Removal never recycles ids, so
+``cardinalities`` counts ids *assigned*, which after deletes may exceed
+the number of distinct values still live — all id consumers only rely
+on equal-value ⇔ equal-id within a column, which both operations
+preserve.
 """
 
 from __future__ import annotations
@@ -39,6 +49,19 @@ def encode_column(
     ``array('i')`` of dense value ids, ``cardinality`` the number of ids
     assigned, and ``null_code`` the shared NULL id (``None`` when the
     column has no NULLs or NULLs are pairwise distinct).
+    """
+    codes, ids, next_id, null_code = _encode_column_state(values, null_equals_null)
+    return codes, next_id, null_code
+
+
+def _encode_column_state(
+    values: Sequence[Any], null_equals_null: bool
+) -> tuple[array, dict[Any, int], int, int | None]:
+    """Encode one column and keep the value → id dictionary.
+
+    The retained state (``ids``, ``next_id``, ``null_code``) is what
+    :meth:`EncodedRelation.extend` needs to encode appended rows
+    consistently with the existing codes.
     """
     codes = array("i", bytes(4 * len(values)))
     ids: dict[Any, int] = {}
@@ -61,7 +84,7 @@ def encode_column(
             ids[value] = assigned
             next_id += 1
         codes[row] = assigned
-    return codes, next_id, null_code
+    return codes, ids, next_id, null_code
 
 
 class EncodedRelation:
@@ -79,6 +102,7 @@ class EncodedRelation:
         "num_rows",
         "arity",
         "null_equals_null",
+        "value_ids",
     )
 
     def __init__(
@@ -88,6 +112,7 @@ class EncodedRelation:
         null_codes: list[int | None],
         num_rows: int,
         null_equals_null: bool,
+        value_ids: list[dict[Any, int]] | None = None,
     ) -> None:
         self.codes = codes
         self.cardinalities = cardinalities
@@ -95,6 +120,7 @@ class EncodedRelation:
         self.num_rows = num_rows
         self.arity = len(codes)
         self.null_equals_null = null_equals_null
+        self.value_ids = value_ids
 
     @classmethod
     def encode(
@@ -104,15 +130,86 @@ class EncodedRelation:
         codes: list[array] = []
         cardinalities: list[int] = []
         null_codes: list[int | None] = []
+        value_ids: list[dict[Any, int]] = []
         num_rows = len(columns_data[0]) if columns_data else 0
         for column in columns_data:
-            col_codes, cardinality, null_code = encode_column(
+            col_codes, ids, cardinality, null_code = _encode_column_state(
                 column, null_equals_null
             )
             codes.append(col_codes)
             cardinalities.append(cardinality)
             null_codes.append(null_code)
-        return cls(codes, cardinalities, null_codes, num_rows, null_equals_null)
+            value_ids.append(ids)
+        return cls(
+            codes, cardinalities, null_codes, num_rows, null_equals_null, value_ids
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (repro.incremental)
+    # ------------------------------------------------------------------
+    def extend(self, new_columns: Sequence[Sequence[Any]]) -> None:
+        """Append rows, growing the per-column dictionaries append-only.
+
+        ``new_columns`` is the column-major suffix (one sequence per
+        attribute, all the same length).  Existing values reuse their
+        id; new values get the next dense id.  Under
+        ``null_equals_null=False`` every appended NULL still receives a
+        fresh id, so NULL rows continue to agree with nothing.
+        """
+        if self.value_ids is None:
+            raise ValueError(
+                "encoding was built without retained dictionaries; "
+                "use EncodedRelation.encode()"
+            )
+        if len(new_columns) != self.arity:
+            raise ValueError(
+                f"expected {self.arity} columns, got {len(new_columns)}"
+            )
+        delta = len(new_columns[0]) if new_columns else 0
+        for attr, column in enumerate(new_columns):
+            if len(column) != delta:
+                raise ValueError("ragged appended columns")
+            codes = self.codes[attr]
+            ids = self.value_ids[attr]
+            next_id = self.cardinalities[attr]
+            null_code = self.null_codes[attr]
+            for value in column:
+                if value is None:
+                    if self.null_equals_null:
+                        if null_code is None:
+                            null_code = next_id
+                            next_id += 1
+                        codes.append(null_code)
+                    else:
+                        codes.append(next_id)
+                        next_id += 1
+                    continue
+                assigned = ids.get(value)
+                if assigned is None:
+                    assigned = next_id
+                    ids[value] = assigned
+                    next_id += 1
+                codes.append(assigned)
+            self.cardinalities[attr] = next_id
+            self.null_codes[attr] = null_code
+        self.num_rows += delta
+
+    def remove_rows(self, positions: Sequence[int]) -> None:
+        """Compact the code vectors, dropping the given row positions.
+
+        Ids are not recycled: the dictionaries keep their entries, so a
+        later :meth:`extend` re-inserting a removed value reuses its old
+        id.  ``cardinalities`` therefore stays the assigned-id count.
+        """
+        doomed = set(positions)
+        if not doomed:
+            return
+        if any(pos < 0 or pos >= self.num_rows for pos in doomed):
+            raise ValueError("row position out of range")
+        keep = [row for row in range(self.num_rows) if row not in doomed]
+        for attr, codes in enumerate(self.codes):
+            self.codes[attr] = array("i", (codes[row] for row in keep))
+        self.num_rows = len(keep)
 
     def agree_set(self, left: int, right: int) -> int:
         """Bitmask of the attributes on which rows ``left``/``right`` agree.

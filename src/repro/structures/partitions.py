@@ -413,6 +413,9 @@ class PLICache:
         instance: RelationInstance,
         null_equals_null: bool = True,
         max_partitions: int | None = None,
+        *,
+        encoding: Any = None,
+        singles: Sequence[StrippedPartition] | None = None,
     ) -> None:
         if max_partitions is not None and max_partitions < 1:
             raise ValueError("max_partitions must be positive (or None)")
@@ -420,19 +423,63 @@ class PLICache:
         self.null_equals_null = null_equals_null
         self.max_partitions = max_partitions
         self.stats = CacheStats()
-        self._encoding = instance.encoded(null_equals_null)
-        self._cache: dict[int, StrippedPartition] = {
-            0: StrippedPartition.single_cluster(instance.num_rows)
-        }
+        self._reset(
+            encoding if encoding is not None else instance.encoded(null_equals_null),
+            singles,
+        )
+
+    def _reset(
+        self, encoding: Any, singles: Sequence[StrippedPartition] | None
+    ) -> None:
+        """(Re)build the permanent entries from an encoding.
+
+        ``singles`` optionally supplies precomputed single-attribute
+        partitions (the incremental engine materializes them from its
+        delta-maintained clusters); otherwise they are grouped from the
+        encoded columns.
+        """
+        self._encoding = encoding
+        self._cache = {0: StrippedPartition.single_cluster(encoding.num_rows)}
         # popcount → masks in insertion order ({mask: None} as ordered set)
         self._by_popcount: dict[int, dict[int, None]] = {}
         self._multi_count = 0
-        for index in range(instance.arity):
-            mask = 1 << index
-            self._cache[mask] = StrippedPartition.from_value_ids(
-                self._encoding.codes[index], self._encoding.null_codes[index]
+        if singles is not None and len(singles) != encoding.arity:
+            raise ValueError(
+                f"expected {encoding.arity} single-attribute partitions, "
+                f"got {len(singles)}"
             )
+        for index in range(encoding.arity):
+            mask = 1 << index
+            if singles is not None:
+                self._cache[mask] = singles[index]
+            else:
+                self._cache[mask] = StrippedPartition.from_value_ids(
+                    encoding.codes[index], encoding.null_codes[index]
+                )
             self._by_popcount.setdefault(1, {})[mask] = None
+
+    def refresh(
+        self,
+        encoding: Any = None,
+        singles: Sequence[StrippedPartition] | None = None,
+    ) -> None:
+        """Invalidate every cached partition after the data changed.
+
+        The incremental engine calls this after applying a batch,
+        passing the maintained encoding and (optionally) its
+        delta-maintained single-attribute partitions; cumulative
+        ``stats`` survive the refresh.
+        """
+        self._reset(
+            encoding
+            if encoding is not None
+            else self.instance.encoded(self.null_equals_null),
+            singles,
+        )
+
+    def invalidate(self) -> None:
+        """Drop cached partitions and re-derive from the instance data."""
+        self.refresh()
 
     @property
     def encoding(self):

@@ -15,6 +15,9 @@ makes them continuously executable:
   join, dependency-preservation accounting,
 * :mod:`~repro.verification.shrinker` — ddmin-style minimization of
   failing instances into ready-to-paste pytest reproductions,
+* :mod:`~repro.verification.incremental` — seeded batch streams against
+  the incremental engine, asserting maintained covers/keys/DDL stay
+  byte-identical to from-scratch runs (``repro verify --incremental``),
 * :mod:`~repro.verification.runner` — seeded campaigns behind
   ``repro verify --seeds N`` and the ``@pytest.mark.fuzz`` suite.
 
@@ -35,6 +38,12 @@ from repro.verification.metamorphic import (
     check_pipeline_properties,
     lost_dependencies,
 )
+from repro.verification.incremental import (
+    IncrementalMismatch,
+    IncrementalReport,
+    run_incremental_differential,
+    verify_incremental_seeds,
+)
 from repro.verification.planted import PlantedInstance, plant_instance
 from repro.verification.runner import (
     VerificationFailure,
@@ -45,6 +54,8 @@ from repro.verification.shrinker import shrink_instance, to_pytest_repro
 
 __all__ = [
     "Disagreement",
+    "IncrementalMismatch",
+    "IncrementalReport",
     "PlantedInstance",
     "PropertyViolation",
     "VerificationFailure",
@@ -56,9 +67,11 @@ __all__ = [
     "lost_dependencies",
     "plant_instance",
     "run_fd_differential",
+    "run_incremental_differential",
     "run_ucc_differential",
     "semantic_fd_errors",
     "shrink_instance",
     "to_pytest_repro",
+    "verify_incremental_seeds",
     "verify_seeds",
 ]

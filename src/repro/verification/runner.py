@@ -440,6 +440,21 @@ def build_verify_parser() -> argparse.ArgumentParser:
         "timeout/OOM/kill faults at checkpoint ticks, asserting graceful "
         "degradation and checkpoint/resume (see docs/ROBUSTNESS.md)",
     )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="run the incremental-differential campaign instead: seeded "
+        "batch streams (insert-only, delete-only, mixed, NULL-carrying, "
+        "key-flipping) against the incremental engine, asserting the "
+        "maintained covers, keys, and DDL stay byte-identical to "
+        "from-scratch runs (see docs/INCREMENTAL.md)",
+    )
+    parser.add_argument(
+        "--batches",
+        type=int,
+        default=10,
+        help="batches per seed for --incremental (default: 10)",
+    )
     return parser
 
 
@@ -448,6 +463,18 @@ def main_verify(argv: Sequence[str] | None = None) -> int:
     progress = None
     if not args.quiet:
         progress = lambda msg: print(f"  {msg}", end="\r", flush=True)  # noqa: E731
+    if args.incremental:
+        from repro.verification.incremental import verify_incremental_seeds
+
+        incremental_report = verify_incremental_seeds(
+            range(args.start, args.start + args.seeds),
+            num_batches=args.batches,
+            progress=progress,
+        )
+        if not args.quiet:
+            print()
+        print(incremental_report.to_str())
+        return 0 if incremental_report.ok else 1
     if args.faults:
         from repro.verification.faults_campaign import run_fault_campaign
 

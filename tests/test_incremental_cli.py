@@ -1,0 +1,222 @@
+"""Tests for ``repro apply-batch`` / ``repro watch``."""
+
+import json
+
+import pytest
+
+from repro.cli import build_apply_batch_parser, main
+from repro.io.csv_io import write_csv
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+
+
+@pytest.fixture()
+def emp_csv(tmp_path):
+    instance = RelationInstance(
+        Relation("emp", ("emp", "dept", "dname", "loc")),
+        [
+            ["e1", "e2", "e3", "e4", "e5"],
+            ["d1", "d1", "d2", "d2", "d3"],
+            ["Sales", "Sales", "Eng", "Eng", "HR"],
+            ["NY", "NY", "SF", "SF", "NY"],
+        ],
+    )
+    path = tmp_path / "emp.csv"
+    write_csv(instance, path)
+    return path
+
+
+@pytest.fixture()
+def changes_json(tmp_path):
+    path = tmp_path / "changes.json"
+    path.write_text(
+        json.dumps(
+            {
+                "format": "repro/changelog",
+                "version": 1,
+                "batches": [
+                    {
+                        "relation": "emp",
+                        "inserts": [["e6", "d4", "Ops", "LA"]],
+                        "deletes": [],
+                    },
+                    {
+                        "relation": "emp",
+                        "inserts": [["e7", "d1", "Sales", "SF"]],
+                        "deletes": [0],
+                    },
+                ],
+            }
+        )
+    )
+    return path
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_apply_batch_parser().parse_args(
+            ["emp.csv", "--changes", "c.json"]
+        )
+        assert args.algorithm == "hyfd"
+        assert args.target == "bcnf"
+        assert not args.report
+
+    def test_watch_flags(self):
+        args = build_apply_batch_parser(watch=True).parse_args(
+            ["emp.csv", "--changes", "c.jsonl", "--once", "--interval", "0.5"]
+        )
+        assert args.once and args.interval == 0.5
+
+    def test_changes_is_required(self):
+        with pytest.raises(SystemExit):
+            build_apply_batch_parser().parse_args(["emp.csv"])
+
+
+class TestApplyBatch:
+    def test_applies_and_reports(self, emp_csv, changes_json, capsys):
+        code = main(
+            [
+                "apply-batch",
+                str(emp_csv),
+                "--changes",
+                str(changes_json),
+                "--report",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch 0" in out and "batch 1" in out
+        assert "applied 2 batch(es)" in out
+        assert "constraint violation" in out  # the d1 -> SF flip
+        assert "minimal FDs" in out
+
+    def test_writes_ddl_migration_and_out_dir(
+        self, emp_csv, changes_json, tmp_path, capsys
+    ):
+        ddl = tmp_path / "schema.sql"
+        migration = tmp_path / "migration.sql"
+        out_dir = tmp_path / "out"
+        code = main(
+            [
+                "apply-batch",
+                str(emp_csv),
+                "--changes",
+                str(changes_json),
+                "--ddl",
+                str(ddl),
+                "--migration",
+                str(migration),
+                "--out-dir",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert "CREATE TABLE" in ddl.read_text()
+        migration_sql = migration.read_text()
+        assert "-- batch" in migration_sql or "No schema changes" in migration_sql
+        assert list(out_dir.glob("*.csv"))
+
+    def test_journal_and_resume(self, emp_csv, changes_json, tmp_path, capsys):
+        journal = tmp_path / "journal.json"
+        assert (
+            main(
+                [
+                    "apply-batch",
+                    str(emp_csv),
+                    "--changes",
+                    str(changes_json),
+                    "--journal",
+                    str(journal),
+                ]
+            )
+            == 0
+        )
+        assert journal.exists()
+        capsys.readouterr()
+        code = main(
+            [
+                "apply-batch",
+                str(emp_csv),
+                "--changes",
+                str(changes_json),
+                "--journal",
+                str(journal),
+                "--resume",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "2 batch(es) already applied" in out
+
+    def test_bad_changelog_exits_2(self, emp_csv, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"bogus": 1}')
+        assert (
+            main(["apply-batch", str(emp_csv), "--changes", str(bad)]) == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_without_journal_exits_2(
+        self, emp_csv, changes_json, capsys
+    ):
+        code = main(
+            [
+                "apply-batch",
+                str(emp_csv),
+                "--changes",
+                str(changes_json),
+                "--resume",
+            ]
+        )
+        assert code == 2
+
+    def test_corrupt_journal_exits_4(
+        self, emp_csv, changes_json, tmp_path, capsys
+    ):
+        journal = tmp_path / "journal.json"
+        journal.write_text(
+            json.dumps(
+                {
+                    "format": "repro/incremental-journal",
+                    "version": 1,
+                    "config": {},
+                    "applied_batches": 0,
+                    "relations": [],
+                }
+            )
+        )
+        code = main(
+            [
+                "apply-batch",
+                str(emp_csv),
+                "--changes",
+                str(changes_json),
+                "--journal",
+                str(journal),
+                "--resume",
+            ]
+        )
+        assert code == 4
+
+
+class TestWatch:
+    def test_once_drains_jsonl(self, emp_csv, tmp_path, capsys):
+        stream = tmp_path / "stream.jsonl"
+        stream.write_text(
+            '{"relation": "emp", "inserts": [["e6", "d3", "HR", "NY"]], '
+            '"deletes": []}\n'
+        )
+        code = main(
+            [
+                "watch",
+                str(emp_csv),
+                "--changes",
+                str(stream),
+                "--once",
+                "--report",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "applied 1 batch(es)" in out

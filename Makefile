@@ -2,11 +2,15 @@
 
 PYTHON ?= python
 
-.PHONY: verify fuzz fuzz-faults fuzz-incremental bench bench-engine bench-incremental
+.PHONY: verify verify-parallel fuzz fuzz-faults fuzz-incremental bench bench-engine bench-incremental bench-parallel
 
 # Tier-1 suite — the gate every change must keep green (see ROADMAP.md).
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Tier-1 again with the process pool engaged (docs/PARALLEL.md).
+verify-parallel:
+	REPRO_WORKERS=2 PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 # Differential/metamorphic verification campaign (docs/TESTING.md).
 fuzz:
@@ -35,3 +39,8 @@ bench-engine:
 # Incremental maintenance vs. full re-discovery under append streams.
 bench-incremental:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_incremental.py --benchmark-only -q
+
+# Worker-pool scaling at 1/2/4/8 workers (asserts byte-identity;
+# docs/PARALLEL.md explains why single-CPU hosts report < 1.0x).
+bench-parallel:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py --benchmark-only -q

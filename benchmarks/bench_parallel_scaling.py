@@ -1,0 +1,117 @@
+"""Worker-pool scaling of the parallel execution layer.
+
+Runs full-pipeline ``normalize()`` and standalone HyFD discovery on
+the largest planted instance at 1/2/4/8 workers and reports the
+speedup over the serial baseline, asserting byte-identical DDL and FD
+covers at every worker count (the determinism contract is part of
+what's measured — a fast-but-different parallel run is a failure).
+
+The cost-model threshold is forced to zero so every shard really goes
+through the pool: this benchmark measures the execution layer itself,
+including shared-memory export/attach and merge overheads.  On a
+single-CPU host the workers time-slice one core, so expect speedups
+*below* 1.0x there — the recorded table is the honest overhead story;
+real scaling needs real cores.  Results persist to
+``benchmarks/results/parallel_scaling.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from _util import emit
+from repro.core.normalize import Normalizer
+from repro.discovery.hyfd import HyFD
+from repro.evaluation.reporting import format_table
+from repro.io.ddl import schema_to_ddl
+from repro.parallel import pool as pool_module
+from repro.parallel import shutdown_pool
+from repro.verification.planted import plant_instance
+
+WORKER_COUNTS = [1, 2, 4, 8]
+
+_SERIES: dict[str, dict[int, float]] = {}
+_BASELINES: dict[str, object] = {}
+
+
+def _instance():
+    return plant_instance(
+        99, num_columns=8, num_rows=4_000, derived_rate=0.6
+    ).instance
+
+
+@pytest.fixture(autouse=True)
+def _force_dispatch(monkeypatch):
+    monkeypatch.setattr(pool_module, "SERIAL_THRESHOLD", 0)
+    yield
+    shutdown_pool()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _scaling_report(request):
+    yield
+    if not _SERIES:
+        return
+    headers = ["workers"] + [f"{name} (s)" for name in _SERIES] + [
+        f"{name} speedup" for name in _SERIES
+    ]
+    rows = []
+    for workers in WORKER_COUNTS:
+        row = [workers]
+        for series in _SERIES.values():
+            row.append(f"{series.get(workers, float('nan')):.3f}")
+        for series in _SERIES.values():
+            base = series.get(1)
+            now = series.get(workers)
+            if base and now:
+                row.append(f"{base / now:.2f}x")
+            else:
+                row.append("-")
+        rows.append(row)
+    emit(
+        format_table(
+            headers,
+            rows,
+            title=(
+                "Parallel scaling, 8-col/4k-row planted instance "
+                f"({os.cpu_count()} CPU(s) on this host; identical "
+                "output asserted at every worker count)"
+            ),
+        ),
+        request,
+        filename="parallel_scaling",
+    )
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_normalize_scaling(benchmark, workers):
+    instance = _instance()
+
+    def run():
+        started = time.perf_counter()
+        result = Normalizer(algorithm="hyfd", workers=workers).run(instance)
+        return time.perf_counter() - started, schema_to_ddl(result.schema)
+
+    seconds, ddl = benchmark.pedantic(run, rounds=1, iterations=1)
+    _SERIES.setdefault("normalize", {})[workers] = seconds
+    baseline = _BASELINES.setdefault("normalize", ddl)
+    assert ddl == baseline, f"workers={workers} changed the DDL"
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_hyfd_scaling(benchmark, workers):
+    instance = _instance()
+
+    def run():
+        started = time.perf_counter()
+        cover = HyFD(workers=workers).discover(instance)
+        return time.perf_counter() - started, list(cover.items())
+
+    seconds, cover = benchmark.pedantic(run, rounds=1, iterations=1)
+    _SERIES.setdefault("hyfd", {})[workers] = seconds
+    baseline = _BASELINES.setdefault("hyfd", cover)
+    assert cover == baseline, f"workers={workers} changed the FD cover"
+    assert cover, "planted instance must yield a non-empty cover"

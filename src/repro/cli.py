@@ -147,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="export the full normalization result (schema, log, stats) as JSON",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for discovery, closure, and decomposition "
+        "fan-out (default: $REPRO_WORKERS or 1 = serial); results are "
+        "byte-identical at any worker count",
+    )
     governance = parser.add_argument_group("resource governance")
     governance.add_argument(
         "--deadline",
@@ -291,7 +300,13 @@ def _main_normalize(argv: list[str]) -> int:
         from repro.profiling import profile
 
         for instance in instances:
-            print(profile(instance, fd_algorithm=args.algorithm).to_str())
+            print(
+                profile(
+                    instance,
+                    fd_algorithm=args.algorithm,
+                    workers=args.workers,
+                ).to_str()
+            )
             print()
         return 0
 
@@ -368,6 +383,7 @@ def _main_normalize(argv: list[str]) -> int:
         sample_rows=args.sample_rows,
         approx_error=args.approx_error,
         checkpoint_path=checkpoint_path,
+        workers=args.workers,
     )
     result = normalizer.run(instances, resume_state=resume_state)
 

@@ -18,16 +18,18 @@ Three algorithms, in the paper's order:
   *complete set of minimal FDs*; Lemma 1 then guarantees that a single
   pass checking subsets of the (original) LHS suffices; O(|fds|).
 
-All three can shard their FD loop over a thread pool (the paper's
-parallelization: each worker extends only its own FDs and may — but
-need not — see other workers' updates).  CPython threads add no speed
-here, but the parallel path exercises the same memory-visibility
-argument and is covered by tests.
+Algorithms 2 and 3 can shard their FD loop over the process pool
+(:mod:`repro.parallel`), reproducing the paper's parallelization: the
+tries are built from the *original* FD pairs and never mutated, each
+worker extends only its own FDs, so any sharding yields the serial
+result exactly (the paper's "workers may, but need not, see other
+workers' updates" holds trivially — updates are invisible across
+processes).  The former ``ThreadPoolExecutor`` path was a GIL-bound
+no-op and has been removed; the cost model keeps small FD sets on the
+serial path.
 """
 
 from __future__ import annotations
-
-from concurrent.futures import ThreadPoolExecutor
 
 from repro.model.attributes import iter_bits
 from repro.model.fd import FDSet
@@ -67,20 +69,7 @@ def improved_closure(fds: FDSet, n_workers: int = 1) -> FDSet:
     query optimization or data cleansing, as the paper notes).
     """
     pairs = [[lhs, rhs] for lhs, rhs in fds.items()]
-    tries = _build_lhs_tries(pairs, fds.num_attributes)
-    all_attrs = (1 << fds.num_attributes) - 1
-
-    def extend(fd: list[int]) -> None:
-        checkpoint("closure-improved")
-        something_changed = True
-        while something_changed:
-            something_changed = False
-            for attr in iter_bits(all_attrs & ~(fd[0] | fd[1])):
-                if tries[attr] and tries[attr].contains_subset_of(fd[0] | fd[1]):
-                    fd[1] |= 1 << attr
-                    something_changed = True
-
-    _run(extend, pairs, n_workers)
+    _run("improved", pairs, fds.num_attributes, n_workers)
     return _to_fdset(pairs, fds.num_attributes)
 
 
@@ -92,16 +81,7 @@ def optimized_closure(fds: FDSet, n_workers: int = 1) -> FDSet:
     once per missing attribute, is enough.
     """
     pairs = [[lhs, rhs] for lhs, rhs in fds.items()]
-    tries = _build_lhs_tries(pairs, fds.num_attributes)
-    all_attrs = (1 << fds.num_attributes) - 1
-
-    def extend(fd: list[int]) -> None:
-        checkpoint("closure-optimized")
-        for attr in iter_bits(all_attrs & ~(fd[0] | fd[1])):
-            if tries[attr] and tries[attr].contains_subset_of(fd[0]):
-                fd[1] |= 1 << attr
-
-    _run(extend, pairs, n_workers)
+    _run("optimized", pairs, fds.num_attributes, n_workers)
     return _to_fdset(pairs, fds.num_attributes)
 
 
@@ -138,23 +118,80 @@ def _build_lhs_tries(pairs: list[list[int]], num_attributes: int) -> list[SetTri
     return tries
 
 
-def _run(extend, pairs: list[list[int]], n_workers: int) -> None:
-    """Apply ``extend`` to every FD, optionally sharded over threads.
+def _extend_improved(fd: list[int], tries: list[SetTrie], all_attrs: int) -> None:
+    """Algorithm 2's per-FD extension: inner change loop over the tries."""
+    checkpoint("closure-improved")
+    something_changed = True
+    while something_changed:
+        something_changed = False
+        for attr in iter_bits(all_attrs & ~(fd[0] | fd[1])):
+            if tries[attr] and tries[attr].contains_subset_of(fd[0] | fd[1]):
+                fd[1] |= 1 << attr
+                something_changed = True
 
-    Each worker mutates only its own FDs; the tries are read-only.
+
+def _extend_optimized(fd: list[int], tries: list[SetTrie], all_attrs: int) -> None:
+    """Algorithm 3's per-FD extension: one LHS-subset pass (Lemma 1)."""
+    checkpoint("closure-optimized")
+    for attr in iter_bits(all_attrs & ~(fd[0] | fd[1])):
+        if tries[attr] and tries[attr].contains_subset_of(fd[0]):
+            fd[1] |= 1 << attr
+
+
+_EXTENDERS = {"improved": _extend_improved, "optimized": _extend_optimized}
+
+
+def _run(
+    algorithm: str, pairs: list[list[int]], num_attributes: int, n_workers: int
+) -> None:
+    """Apply the per-FD extension to every FD, sharded over the pool.
+
+    Each worker extends only its own contiguous shard against tries
+    built from the original pairs, so the merged result (written back
+    in shard order) is exactly the serial one.  The cost model keeps
+    small inputs serial; a parallel dispatch that breaches the active
+    budget propagates :class:`BudgetExceeded` like a serial checkpoint
+    would.
     """
-    if n_workers <= 1 or len(pairs) < 2:
-        for fd in pairs:
-            extend(fd)
-        return
-    with ThreadPoolExecutor(max_workers=n_workers) as pool:
-        chunks = [pairs[i::n_workers] for i in range(n_workers)]
+    if n_workers > 1 and len(pairs) > 1:
+        if _run_parallel(algorithm, pairs, num_attributes, n_workers):
+            return
+    extend = _EXTENDERS[algorithm]
+    tries = _build_lhs_tries(pairs, num_attributes)
+    all_attrs = (1 << num_attributes) - 1
+    for fd in pairs:
+        extend(fd, tries, all_attrs)
 
-        def work(chunk: list[list[int]]) -> None:
-            for fd in chunk:
-                extend(fd)
 
-        list(pool.map(work, chunks))
+def _run_parallel(
+    algorithm: str, pairs: list[list[int]], num_attributes: int, n_workers: int
+) -> bool:
+    """Dispatch the extension to the process pool; False → go serial."""
+    from repro.parallel import get_pool, should_parallelize, split_ranges
+
+    pool = get_pool(n_workers)
+    if not should_parallelize(len(pairs) * max(num_attributes, 1), n_workers):
+        pool.stats.serial_fallbacks += 1
+        return False
+    data = [(fd[0], fd[1]) for fd in pairs]
+    payloads = [
+        {
+            "algorithm": algorithm,
+            "pairs": data,
+            "start": start,
+            "stop": stop,
+            "num_attributes": num_attributes,
+        }
+        for start, stop in split_ranges(len(pairs), pool.workers)
+    ]
+    pool.stats.shard_items += len(pairs)
+    results = pool.map_tasks(
+        "closure_shard", payloads, stage=f"closure-{algorithm}"
+    )
+    for payload, rhs_values in zip(payloads, results):
+        for index, rhs in enumerate(rhs_values, start=payload["start"]):
+            pairs[index][1] = rhs
+    return True
 
 
 def _to_fdset(pairs: list[list[int]], num_attributes: int) -> FDSet:

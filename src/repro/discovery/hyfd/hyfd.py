@@ -1,10 +1,13 @@
 """HyFD orchestrator: sampling → induction → validation.
 
-See the package docstring for the phase overview.  The implementation
-is single-threaded (see DESIGN.md §3 on the parallelism substitution)
-but preserves the algorithmic structure: a warm-up sampling pass seeds
-the negative cover, induction builds the positive cover, and validation
-interleaves with further guided sampling until the tree is exact.
+See the package docstring for the phase overview: a warm-up sampling
+pass seeds the negative cover, induction builds the positive cover, and
+validation interleaves with further guided sampling until the tree is
+exact.  With ``workers > 1`` the sampling and validation hot loops
+shard over the process pool (:mod:`repro.parallel`) against a
+shared-memory export of the encoded relation; the shard/merge protocol
+keeps the discovered cover byte-identical to a serial run (see
+``docs/PARALLEL.md``).
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ class HyFD(FDAlgorithm):
         switch_threshold: float = 0.2,
         sample_rounds_per_switch: int = 4,
         max_cached_partitions: int | None = None,
+        workers: int | None = None,
     ) -> None:
         super().__init__(null_equals_null, max_lhs_size)
         if not 0.0 <= switch_threshold <= 1.0:
@@ -47,9 +51,13 @@ class HyFD(FDAlgorithm):
         self.switch_threshold = switch_threshold
         self.sample_rounds_per_switch = sample_rounds_per_switch
         self.max_cached_partitions = max_cached_partitions
+        self.workers = workers
         self.last_cache_stats = None
+        self.last_pool_stats = None
 
     def discover(self, instance: RelationInstance) -> FDSet:
+        from repro.parallel import RelationRun, resolve_workers
+
         arity = instance.arity
         result = FDSet(arity)
         if arity == 0:
@@ -60,9 +68,14 @@ class HyFD(FDAlgorithm):
             max_partitions=self.max_cached_partitions,
         )
         self.last_cache_stats = cache.stats
+        self.last_pool_stats = None
+        workers = resolve_workers(self.workers)
+        parallel = (
+            RelationRun(workers, cache.encoding) if workers > 1 else None
+        )
         tree = None
         try:
-            sampler = Sampler(instance, cache)
+            sampler = Sampler(instance, cache, parallel=parallel)
             sampler.initial_rounds()
             tree = build_positive_cover(
                 arity, sampler.negative_cover, self.max_lhs_size
@@ -74,6 +87,7 @@ class HyFD(FDAlgorithm):
                 max_lhs_size=self.max_lhs_size,
                 switch_threshold=self.switch_threshold,
                 sample_rounds_per_switch=self.sample_rounds_per_switch,
+                parallel=parallel,
             )
         except BudgetExceeded as exc:
             # Salvage the positive cover as it stands.  Candidates on
@@ -85,6 +99,11 @@ class HyFD(FDAlgorithm):
                     for lhs, rhs_mask in tree.iter_all():
                         partial.add_masks(lhs, rhs_mask)
             raise exc.attach_partial(partial, exact=False)
+        finally:
+            if parallel is not None:
+                with suspended():
+                    parallel.close()
+                self.last_pool_stats = parallel.stats
         for lhs, rhs_mask in tree.iter_all():
             result.add_masks(lhs, rhs_mask)
         return result

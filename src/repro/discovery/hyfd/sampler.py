@@ -24,11 +24,22 @@ __all__ = ["Sampler"]
 
 
 class Sampler:
-    """Progressive cluster-window sampler producing agree-set evidence."""
+    """Progressive cluster-window sampler producing agree-set evidence.
 
-    def __init__(self, instance: RelationInstance, cache: PLICache) -> None:
+    With ``parallel`` (a :class:`repro.parallel.RelationRun`), large
+    windows ship their record-pair shards to the process pool: workers
+    compute the agree masks against the shared-memory columns, and the
+    parent replays the dedup in the serial pair order — the negative
+    cover and the efficiency queue evolve byte-identically to a serial
+    run.
+    """
+
+    def __init__(
+        self, instance: RelationInstance, cache: PLICache, parallel=None
+    ) -> None:
         self.arity = instance.arity
         self.num_rows = instance.num_rows
+        self.parallel = parallel
         self._encoding = cache.encoding
         self._probes = self._encoding.codes
         # Sort each cluster so that neighbouring records are similar.
@@ -67,6 +78,14 @@ class Sampler:
 
     def _run_window(self, attr: int, distance: int) -> tuple[int, list[int]]:
         """Compare all pairs at ``distance`` within ``attr``'s clusters."""
+        if self.parallel is not None:
+            pairs = [
+                (cluster[index], cluster[index + distance])
+                for cluster in self._clusters[attr]
+                for index in range(len(cluster) - distance)
+            ]
+            if self.parallel.should(len(pairs) * self.arity):
+                return len(pairs), self._merge_window(pairs)
         compared = 0
         fresh: list[int] = []
         for cluster in self._clusters[attr]:
@@ -77,6 +96,25 @@ class Sampler:
                 if agree is not None:
                     fresh.append(agree)
         return compared, fresh
+
+    def _merge_window(self, pairs: list[tuple[int, int]]) -> list[int]:
+        """Shard the agree-mask computation; replay the dedup in order."""
+        handle = self.parallel.handle
+        payloads = [
+            {"handle": handle, "pairs": pairs[start:stop]}
+            for start, stop in self.parallel.ranges(len(pairs))
+        ]
+        shards = self.parallel.map(
+            "agree_pairs", payloads, stage="hyfd-sample", items=len(pairs)
+        )
+        fresh: list[int] = []
+        for masks in shards:
+            for agree in masks:
+                self.comparisons += 1
+                if agree not in self.negative_cover:
+                    self.negative_cover.add(agree)
+                    fresh.append(agree)
+        return fresh
 
     @property
     def exhausted(self) -> bool:

@@ -39,8 +39,16 @@ def validate_tree(
     max_lhs_size: int | None = None,
     switch_threshold: float = 0.2,
     sample_rounds_per_switch: int = 4,
+    parallel=None,
 ) -> None:
-    """Mutate ``tree`` until it holds exactly the valid minimal FDs."""
+    """Mutate ``tree`` until it holds exactly the valid minimal FDs.
+
+    ``parallel`` (a :class:`repro.parallel.RelationRun`) shards large
+    levels over the process pool; refutations are applied in serial
+    candidate order, so the tree evolves byte-identically either way
+    (specialization only creates *deeper* nodes, so candidates within a
+    level are independent).
+    """
     level = 0
     while level <= tree.depth():
         candidates = list(tree.iter_level(level))
@@ -48,7 +56,7 @@ def validate_tree(
         if total == 0:
             level += 1
             continue
-        invalid = _validate_level(tree, cache, candidates, max_lhs_size)
+        invalid = _validate_level(tree, cache, candidates, max_lhs_size, parallel)
         if (
             sampler is not None
             and not sampler.exhausted
@@ -71,6 +79,7 @@ def _validate_level(
     cache: PLICache,
     candidates: list[tuple[int, int]],
     max_lhs_size: int | None,
+    parallel=None,
 ) -> int:
     """Validate one level's candidates; return the number refuted.
 
@@ -79,6 +88,14 @@ def _validate_level(
     specialized in ascending attribute order, matching the historical
     per-attribute iteration.
     """
+    if parallel is not None:
+        work = [
+            (lhs, [attr for attr in iter_bits(rhs_mask)])
+            for lhs, rhs_mask in candidates
+        ]
+        units = sum(len(rhs) for _, rhs in work) * cache.encoding.num_rows
+        if parallel.should(units):
+            return _validate_level_parallel(tree, work, max_lhs_size, parallel)
     invalid = 0
     for lhs, rhs_mask in candidates:
         checkpoint("hyfd-validate")
@@ -99,4 +116,40 @@ def _validate_level(
             tree.remove(lhs, 1 << rhs_attr)
             agree = cache.agree_set(*pair)
             specialize(tree, lhs, rhs_attr, agree, max_lhs_size)
+    return invalid
+
+
+def _validate_level_parallel(
+    tree: FDTree,
+    work: list[tuple[int, list[int]]],
+    max_lhs_size: int | None,
+    parallel,
+) -> int:
+    """Dispatch one level's validations to the pool, merge in order.
+
+    Within a level, no candidate's outcome can affect another's data
+    sweep — ``specialize`` only adds deeper nodes and ``remove`` only
+    touches the processed ``(lhs, attr)`` — so the full level can be
+    snapshot up front; the parent then replays each refutation
+    (``remove`` + ``specialize``) in serial candidate order using the
+    agree sets the workers computed.
+    """
+    handle = parallel.handle
+    payloads = [
+        {"handle": handle, "items": work[start:stop]}
+        for start, stop in parallel.ranges(len(work))
+    ]
+    shards = parallel.map(
+        "hyfd_validate", payloads, stage="hyfd-validate", items=len(work)
+    )
+    invalid = 0
+    index = 0
+    for shard in shards:
+        for refuted in shard:
+            lhs, _ = work[index]
+            index += 1
+            for rhs_attr, agree in refuted:
+                invalid += 1
+                tree.remove(lhs, 1 << rhs_attr)
+                specialize(tree, lhs, rhs_attr, agree, max_lhs_size)
     return invalid

@@ -19,6 +19,14 @@ candidate-RHS set ``C+``:
 Partitions are kept for single attributes plus the previous and current
 level (the direct key test needs the previous level), so memory stays
 proportional to the widest lattice levels actually visited.
+
+With ``workers > 1`` the per-level partition products (the dominant
+cost) shard over the process pool: each worker receives its chunk's
+prefix partitions as CSR bytes plus the shared-memory column codes, and
+``intersect_ids`` is deterministic in those inputs, so the merged level
+is byte-identical to the serial one.  The key-pruning minimality test
+stays serial — it is incremental in the shared ``errors`` memo and
+rarely hot.
 """
 
 from __future__ import annotations
@@ -41,6 +49,16 @@ class Tane(FDAlgorithm):
 
     name = "tane"
 
+    def __init__(
+        self,
+        null_equals_null: bool = True,
+        max_lhs_size: int | None = None,
+        workers: int | None = None,
+    ) -> None:
+        super().__init__(null_equals_null, max_lhs_size)
+        self.workers = workers
+        self.last_pool_stats = None
+
     def discover(self, instance: RelationInstance) -> FDSet:
         result = FDSet(instance.arity)
         try:
@@ -51,9 +69,31 @@ class Tane(FDAlgorithm):
         return result
 
     def _discover(self, instance: RelationInstance, result: FDSet) -> None:
+        from repro.parallel import RelationRun, resolve_workers
+        from repro.runtime.governor import suspended
+
         arity = instance.arity
         if arity == 0:
             return
+        self.last_pool_stats = None
+        workers = resolve_workers(self.workers)
+        parallel = None
+        if workers > 1:
+            parallel = RelationRun(
+                workers, instance.encoded(self.null_equals_null)
+            )
+        try:
+            self._discover_levels(instance, result, parallel)
+        finally:
+            if parallel is not None:
+                with suspended():
+                    parallel.close()
+                self.last_pool_stats = parallel.stats
+
+    def _discover_levels(
+        self, instance: RelationInstance, result: FDSet, parallel
+    ) -> None:
+        arity = instance.arity
         everything = full_mask(arity)
 
         # Level 0 seed: the empty set's partition and error.
@@ -83,7 +123,7 @@ class Tane(FDAlgorithm):
                 encoding.codes,
             )
             level, partitions = self._generate_next_level(
-                survivors, partitions, errors, arity, encoding.codes
+                survivors, partitions, errors, arity, encoding.codes, parallel
             )
             depth += 1
 
@@ -179,6 +219,7 @@ class Tane(FDAlgorithm):
         errors: dict[int, int],
         arity: int,
         codes: list,
+        parallel=None,
     ) -> tuple[list[int], dict[int, StrippedPartition]]:
         survivor_set = set(survivors)
         # Group by prefix (all attributes except the largest one).
@@ -187,8 +228,9 @@ class Tane(FDAlgorithm):
             top = 1 << (mask.bit_length() - 1)
             prefix_blocks.setdefault(mask & ~top, []).append(mask)
 
-        next_level: list[int] = []
-        next_partitions: dict[int, StrippedPartition] = {}
+        # Enumerate the level's candidates in serial order first so the
+        # parallel path shards (and merges) exactly this sequence.
+        cands: list[tuple[int, int, int]] = []
         for block in prefix_blocks.values():
             block.sort()
             for first, second in itertools.combinations(block, 2):
@@ -196,8 +238,22 @@ class Tane(FDAlgorithm):
                 # second's top attribute: π(first) · π({top}) = π(candidate),
                 # computed against the value-id vector (no probe fill/reset).
                 candidate = first | second
-                if not _all_subsets_present(candidate, survivor_set):
-                    continue
+                if _all_subsets_present(candidate, survivor_set):
+                    cands.append((first, second, candidate))
+
+        next_level: list[int] = []
+        next_partitions: dict[int, StrippedPartition] = {}
+        num_rows = len(codes[0]) if codes else 0
+        if (
+            parallel is not None
+            and cands
+            and parallel.should(len(cands) * num_rows)
+        ):
+            Tane._generate_parallel(
+                cands, partitions, errors, next_level, next_partitions, parallel
+            )
+        else:
+            for first, second, candidate in cands:
                 add_candidates(1, "tane-generate")
                 partition = partitions[first].intersect_ids(
                     codes[second.bit_length() - 1]
@@ -212,6 +268,56 @@ class Tane(FDAlgorithm):
         for mask in survivors:
             next_partitions.setdefault(mask, partitions[mask])
         return next_level, next_partitions
+
+    @staticmethod
+    def _generate_parallel(
+        cands: list[tuple[int, int, int]],
+        partitions: dict[int, StrippedPartition],
+        errors: dict[int, int],
+        next_level: list[int],
+        next_partitions: dict[int, StrippedPartition],
+        parallel,
+    ) -> None:
+        """Shard the level's partition products over the pool.
+
+        Each chunk ships the prefix partitions it needs as CSR bytes;
+        the single-attribute side comes from the shared-memory codes.
+        Workers account the candidates (folded back at the merge), so
+        the parent must not double-count them here.
+        """
+        from array import array
+
+        handle = parallel.handle
+        payloads = []
+        for start, stop in parallel.ranges(len(cands)):
+            chunk = cands[start:stop]
+            firsts = {}
+            items = []
+            for first, second, _ in chunk:
+                if first not in firsts:
+                    partition = partitions[first]
+                    firsts[first] = (
+                        partition.row_data.tobytes(),
+                        partition.offsets.tobytes(),
+                    )
+                items.append((first, second.bit_length() - 1))
+            payloads.append({"handle": handle, "firsts": firsts, "items": items})
+        shards = parallel.map(
+            "tane_generate", payloads, stage="tane-generate", items=len(cands)
+        )
+        num_rows = handle.num_rows
+        index = 0
+        for shard in shards:
+            for rows_bytes, offsets_bytes, error in shard:
+                candidate = cands[index][2]
+                index += 1
+                rows, offsets = array("i"), array("i")
+                rows.frombytes(rows_bytes)
+                offsets.frombytes(offsets_bytes)
+                partition = StrippedPartition._from_csr(rows, offsets, num_rows)
+                next_partitions[candidate] = partition
+                errors[candidate] = error
+                next_level.append(candidate)
 
 
 def _all_subsets_present(candidate: int, survivor_set: set[int]) -> bool:

@@ -1,0 +1,144 @@
+"""Process-parallel execution layer with shared-memory columnar relations.
+
+The paper runs closure calculation and FD validation in parallel inside
+Metanome; this package is the reproduction's equivalent, built for
+CPython where threads cannot speed up CPU-bound work (the former
+``ThreadPoolExecutor`` closure path was a GIL-bound no-op, see
+DESIGN.md §3):
+
+* :mod:`repro.parallel.shm` — zero-copy export of a relation's
+  dictionary-encoded columns into one ``multiprocessing.shared_memory``
+  segment; workers attach views, no row data is ever pickled,
+* :mod:`repro.parallel.pool` — a persistent process pool with budget
+  propagation, cooperative cancellation, and order-preserving batch
+  dispatch,
+* :mod:`repro.parallel.tasks` — the worker-side handlers for the hot
+  paths (closure shards, HyFD validation and sampling, TANE level
+  generation, decomposition fan-out, verification campaigns).
+
+The determinism contract (see ``docs/PARALLEL.md``): results are merged
+in payload order and every handler is a pure function of its payload
+plus the named shared segment, so parallel runs produce byte-identical
+FD covers, key sets, and DDL to serial runs at any worker count.
+
+:class:`RelationRun` below is the small façade the hot paths actually
+use: it owns the lazy shared-memory export of one relation, applies the
+serial-fallback cost model, and snapshots pool counters so each
+algorithm run can report the delta it caused.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.pool import (
+    MAX_WORKERS,
+    PoolStats,
+    WorkerError,
+    WorkerPool,
+    get_pool,
+    pool_stats,
+    resolve_workers,
+    should_parallelize,
+    shutdown_pool,
+)
+from repro.parallel.shm import (
+    SharedRelation,
+    ShmHandle,
+    attach_encoding,
+    export_encoding,
+)
+
+__all__ = [
+    "MAX_WORKERS",
+    "PoolStats",
+    "RelationRun",
+    "SharedRelation",
+    "ShmHandle",
+    "WorkerError",
+    "WorkerPool",
+    "attach_encoding",
+    "export_encoding",
+    "get_pool",
+    "pool_stats",
+    "resolve_workers",
+    "should_parallelize",
+    "shutdown_pool",
+    "split_ranges",
+]
+
+
+def split_ranges(count: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(count)`` into at most ``parts`` contiguous ranges.
+
+    Contiguous (not strided) shards keep every merge a simple
+    concatenation in payload order — the backbone of the deterministic
+    shard/merge protocol.
+    """
+    if count <= 0:
+        return []
+    parts = max(1, min(parts, count))
+    step, extra = divmod(count, parts)
+    ranges = []
+    start = 0
+    for index in range(parts):
+        stop = start + step + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+class RelationRun:
+    """One algorithm run's hook into the pool, for one relation.
+
+    Owns the (lazy) shared-memory export of the relation's encoding —
+    created on the first shard dispatch that needs it, unlinked in
+    :meth:`close` — plus the cost-model gate and the pool-stats
+    snapshot that lets the caller report per-run counters.
+    """
+
+    __slots__ = ("workers", "pool", "_encoding", "_shared", "_mark", "stats")
+
+    def __init__(self, workers: int, encoding=None) -> None:
+        self.workers = workers
+        self.pool = get_pool(workers)
+        self._encoding = encoding
+        self._shared: SharedRelation | None = None
+        self._mark = self.pool.stats.copy()
+        self.stats: PoolStats | None = None
+
+    @property
+    def handle(self) -> ShmHandle:
+        """The exported relation's handle (exports on first use)."""
+        if self._shared is None:
+            if self._encoding is None:
+                raise ValueError("RelationRun was created without an encoding")
+            self._shared = export_encoding(self._encoding)
+            self.pool.stats.export_seconds += self._shared.export_seconds
+        return self._shared.handle
+
+    def should(self, work_units: int) -> bool:
+        """Cost-model gate; counts the serial fallback when it says no."""
+        if should_parallelize(work_units, self.workers):
+            return True
+        self.pool.stats.serial_fallbacks += 1
+        return False
+
+    def map(self, kind: str, payloads: list, stage: str, items: int = 0) -> list:
+        self.pool.stats.shard_items += items
+        return self.pool.map_tasks(kind, payloads, stage=stage)
+
+    def ranges(self, count: int) -> list[tuple[int, int]]:
+        return split_ranges(count, self.workers)
+
+    def close(self) -> None:
+        """Unlink the export (workers keep serving their mappings) and
+        freeze this run's pool-counter delta into :attr:`stats`."""
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+        self.stats = self.pool.stats.delta_since(self._mark)
+
+    def __enter__(self) -> "RelationRun":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

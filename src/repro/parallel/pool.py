@@ -1,0 +1,532 @@
+"""Persistent process pool with budget propagation and deterministic merge.
+
+One :class:`WorkerPool` serves the whole process: hot paths submit
+batches of task payloads (:meth:`WorkerPool.map_tasks`) and always get
+results back **in payload order**, which is what makes every parallel
+code path's merge step deterministic regardless of worker scheduling.
+
+Design points, each load-bearing:
+
+* **Persistent workers** — processes are forked once (spawn on
+  platforms without fork) and reused across batches, so per-relation
+  state (shared-memory attachments, worker-side ``PLICache``) amortizes
+  over a whole discovery run instead of being rebuilt per task.
+* **Budget propagation** — each batch snapshots the ambient
+  :class:`~repro.runtime.governor.Governor` (remaining deadline, memory
+  ceiling) and workers enforce it in their own governor at their own
+  cooperative checkpoints.  A worker breach cancels the rest of the
+  batch (a shared event every worker governor polls) and surfaces in
+  the parent as an ordinary :class:`BudgetExceeded`, so every existing
+  salvage/degradation path works unchanged.  Candidate-work counts are
+  folded back through :func:`~repro.runtime.governor.add_candidates`,
+  keeping the global ``max_candidates`` cap authoritative (enforced at
+  batch merge rather than mid-shard — the documented difference to
+  serial runs).
+* **Parent stays cooperative** — while waiting for results the parent
+  keeps ticking its own checkpoints, so deadlines, and in particular
+  injected faults (``FaultPlan`` kills), still fire *mid-shard*; an
+  epoch counter lets the pool discard the orphaned batch afterwards and
+  stay usable for the resumed run.
+* **Fork hygiene** — workers reset inherited process state on start
+  (ambient governor, the partition probe buffer, any shared-memory
+  attachments) via :func:`_reset_worker_state`; nested pools are
+  refused (``resolve_workers`` reports 1 inside a worker).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass
+
+from repro.runtime.errors import BudgetExceeded, InputError
+from repro.runtime.governor import (
+    Budget,
+    Governor,
+    activate,
+    add_candidates,
+    checkpoint,
+    current_governor,
+)
+
+__all__ = [
+    "PoolStats",
+    "WorkerError",
+    "WorkerPool",
+    "get_pool",
+    "resolve_workers",
+    "should_parallelize",
+    "shutdown_pool",
+]
+
+#: Minimum estimated work units (roughly rows × candidates) below which
+#: a hot path stays serial — small inputs must not pay pool overhead.
+#: Read at call time so tests can monkeypatch it to force either path.
+SERIAL_THRESHOLD = 50_000
+
+#: Hard cap honoured by :func:`resolve_workers` (sanity bound).
+MAX_WORKERS = 64
+
+_IN_WORKER = False  # set in forked/spawned children; forbids nesting
+
+
+class WorkerError(RuntimeError):
+    """A task raised an unexpected exception inside a worker."""
+
+
+class _Cancelled(Exception):
+    """Internal: the batch was cancelled while this task ran."""
+
+
+def resolve_workers(explicit: int | None = None) -> int:
+    """Resolve the effective worker count.
+
+    Precedence: explicit argument > ``REPRO_WORKERS`` env var > 1
+    (serial).  Inside a pool worker this always returns 1 — parallel
+    sections encountered by worker-side code run serially instead of
+    forking grandchildren.
+    """
+    if _IN_WORKER:
+        return 1
+    value = explicit
+    if value is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if raw:
+            try:
+                value = int(raw)
+            except ValueError:
+                raise InputError(
+                    f"REPRO_WORKERS must be an integer, got {raw!r}"
+                ) from None
+    if value is None:
+        return 1
+    if value < 1:
+        raise InputError("worker count must be >= 1")
+    return min(value, MAX_WORKERS)
+
+
+def should_parallelize(work_units: int, workers: int) -> bool:
+    """Cost model: is ``work_units`` worth dispatching to ``workers``?
+
+    ``work_units`` approximates rows × candidates of the section; the
+    threshold keeps tiny inputs (most unit tests, small relations) on
+    the serial path where they are faster anyway.
+    """
+    return workers > 1 and not _IN_WORKER and work_units >= SERIAL_THRESHOLD
+
+
+@dataclass(slots=True)
+class PoolStats:
+    """Counters of one pool (cumulative; snapshot with :meth:`copy`)."""
+
+    workers: int = 0
+    batches: int = 0
+    tasks_dispatched: int = 0
+    serial_fallbacks: int = 0
+    cancelled_tasks: int = 0
+    #: rows shipped through task payloads is zero by design; these count
+    #: the shared-memory side instead
+    attach_seconds: float = 0.0
+    export_seconds: float = 0.0
+    largest_shard: int = 0
+    shard_items: int = 0
+
+    def copy(self) -> "PoolStats":
+        return PoolStats(
+            workers=self.workers,
+            batches=self.batches,
+            tasks_dispatched=self.tasks_dispatched,
+            serial_fallbacks=self.serial_fallbacks,
+            cancelled_tasks=self.cancelled_tasks,
+            attach_seconds=self.attach_seconds,
+            export_seconds=self.export_seconds,
+            largest_shard=self.largest_shard,
+            shard_items=self.shard_items,
+        )
+
+    def delta_since(self, mark: "PoolStats") -> "PoolStats":
+        return PoolStats(
+            workers=self.workers,
+            batches=self.batches - mark.batches,
+            tasks_dispatched=self.tasks_dispatched - mark.tasks_dispatched,
+            serial_fallbacks=self.serial_fallbacks - mark.serial_fallbacks,
+            cancelled_tasks=self.cancelled_tasks - mark.cancelled_tasks,
+            attach_seconds=self.attach_seconds - mark.attach_seconds,
+            export_seconds=self.export_seconds - mark.export_seconds,
+            largest_shard=self.largest_shard,
+            shard_items=self.shard_items - mark.shard_items,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Integer counters for ``DataProfile.counters`` (times in µs)."""
+        return {
+            "pool_workers": self.workers,
+            "pool_batches": self.batches,
+            "pool_tasks": self.tasks_dispatched,
+            "pool_serial_fallbacks": self.serial_fallbacks,
+            "pool_cancelled_tasks": self.cancelled_tasks,
+            "pool_attach_us": int(self.attach_seconds * 1e6),
+            "pool_export_us": int(self.export_seconds * 1e6),
+            "pool_largest_shard": self.largest_shard,
+            "pool_shard_items": self.shard_items,
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _WorkerGovernor(Governor):
+    """A worker's governor: the propagated budget plus the cancel event."""
+
+    __slots__ = ("cancel_event",)
+
+    def __init__(self, budget: Budget, cancel_event) -> None:
+        super().__init__(budget)
+        self.cancel_event = cancel_event
+
+    def _probe(self, stage: str) -> None:
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            raise _Cancelled(stage)
+        super()._probe(stage)
+
+
+def _reset_worker_state() -> None:
+    """Reset process state a forked child inherited from the parent.
+
+    Forked workers share the parent's module globals by copy; anything
+    that is (a) mutable and (b) semantically owned by the *run* rather
+    than the *process* must be cleared so no parent state leaks into
+    worker computations:
+
+    * the ambient governor (a worker must never tick the parent's
+      budget object — it gets its own per task),
+    * the partition probe buffer (could hold in-flight entries if the
+      fork ever raced an intersect; cleared defensively),
+    * worker-side relation caches from a previous pool generation
+      (only relevant after fork-from-worker, which is refused anyway).
+
+    The per-instance encoding memo (``RelationInstance._encodings``)
+    and parent ``PLICache`` objects need no reset: workers never see
+    parent instances — row data only ever arrives via shared memory.
+    """
+    global _IN_WORKER, _POOL
+    _IN_WORKER = True
+    _POOL = None  # never reuse the parent's pool object (inherited queues)
+    from repro.runtime import governor as governor_module
+    from repro.structures import partitions as partitions_module
+
+    governor_module._ACTIVE = None
+    partitions_module.reset_process_state()
+    from repro.parallel import tasks as tasks_module
+
+    tasks_module.reset_worker_caches()
+
+
+def _budget_from_snapshot(snapshot: dict | None, cancel_event) -> _WorkerGovernor:
+    if snapshot is None:
+        budget = Budget()
+    else:
+        remaining = snapshot.get("deadline_remaining")
+        budget = Budget(
+            deadline_seconds=max(remaining, 1e-6) if remaining is not None else None,
+            max_memory_bytes=snapshot.get("max_memory_bytes"),
+            check_interval=snapshot.get("check_interval", 256),
+        )
+    return _WorkerGovernor(budget, cancel_event)
+
+
+def _worker_main(tasks_queue, results_queue, cancel_event, epoch_value) -> None:
+    """Worker loop: pull ``(epoch, index, kind, payload, budget)`` tuples."""
+    _reset_worker_state()
+    from repro.parallel.tasks import TASK_HANDLERS, worker_attach_seconds
+
+    while True:
+        item = tasks_queue.get()
+        if item is None:
+            break
+        epoch, index, kind, payload, budget_snapshot = item
+        if epoch < epoch_value.value or cancel_event.is_set():
+            results_queue.put((epoch, index, "cancelled", None))
+            continue
+        governor = _budget_from_snapshot(budget_snapshot, cancel_event)
+        attach_before = worker_attach_seconds()
+        try:
+            with activate(governor):
+                value = TASK_HANDLERS[kind](payload)
+            results_queue.put(
+                (
+                    epoch,
+                    index,
+                    "ok",
+                    (
+                        value,
+                        governor.ticks,
+                        governor.candidates,
+                        worker_attach_seconds() - attach_before,
+                    ),
+                )
+            )
+        except BudgetExceeded as exc:
+            results_queue.put(
+                (
+                    epoch,
+                    index,
+                    "budget",
+                    {
+                        "reason": exc.reason,
+                        "stage": exc.stage,
+                        "limit": exc.limit,
+                        "observed": exc.observed,
+                    },
+                )
+            )
+        except _Cancelled:
+            results_queue.put((epoch, index, "cancelled", None))
+        except Exception:
+            results_queue.put((epoch, index, "error", traceback.format_exc()))
+    from repro.parallel.tasks import reset_worker_caches
+
+    reset_worker_caches()  # close shared-memory attachments
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """A fixed-size persistent pool dispatching named task batches."""
+
+    def __init__(self, workers: int, start_method: str | None = None) -> None:
+        if workers < 1:
+            raise InputError("worker count must be >= 1")
+        if _IN_WORKER:
+            raise InputError("nested worker pools are not allowed")
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self.workers = workers
+        self.stats = PoolStats(workers=workers)
+        self._ctx = multiprocessing.get_context(start_method)
+        self._tasks = None
+        self._results = None
+        self._cancel = None
+        self._epoch_value = None
+        self._procs: list = []
+        self._epoch = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return bool(self._procs)
+
+    def ensure_started(self) -> None:
+        if self._closed:
+            raise InputError("worker pool is closed")
+        if self._procs:
+            self._reap_dead()
+        if self._procs:
+            return
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._cancel = self._ctx.Event()
+        self._epoch_value = self._ctx.Value("L", 0)
+        for _ in range(self.workers):
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(self._tasks, self._results, self._cancel, self._epoch_value),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def _reap_dead(self) -> None:
+        """Replace workers that died (e.g. OOM-killed) transparently."""
+        alive = [proc for proc in self._procs if proc.is_alive()]
+        dead = len(self._procs) - len(alive)
+        self._procs = alive
+        for _ in range(dead):
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(self._tasks, self._results, self._cancel, self._epoch_value),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def close(self) -> None:
+        """Terminate workers and drop queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._procs:
+            try:
+                for _ in self._procs:
+                    self._tasks.put(None)
+                for proc in self._procs:
+                    proc.join(timeout=2.0)
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+            for proc in self._procs:
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+            self._procs = []
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def map_tasks(self, kind: str, payloads: list, stage: str = "parallel") -> list:
+        """Run one batch; return per-payload results in payload order.
+
+        Raises :class:`BudgetExceeded` when any worker breached its
+        propagated budget (after cancelling the rest of the batch) and
+        :class:`WorkerError` on an unexpected worker exception.  The
+        parent keeps ticking its own checkpoints while waiting, so
+        parent-side budget breaches and injected faults fire mid-shard;
+        the batch is then orphaned via the epoch counter and the pool
+        remains usable.
+        """
+        if not payloads:
+            return []
+        self.ensure_started()
+        self._epoch += 1
+        epoch = self._epoch
+        with self._epoch_value.get_lock():
+            self._epoch_value.value = epoch
+        self._cancel.clear()
+        self._drain_stale()
+
+        snapshot = _governor_snapshot(current_governor())
+        for index, payload in enumerate(payloads):
+            self._tasks.put((epoch, index, kind, payload, snapshot))
+        self.stats.batches += 1
+        self.stats.tasks_dispatched += len(payloads)
+        self.stats.largest_shard = max(self.stats.largest_shard, len(payloads))
+
+        results: list = [None] * len(payloads)
+        pending = len(payloads)
+        breach: dict | None = None
+        error: str | None = None
+        ticks = 0
+        candidates = 0
+        try:
+            while pending:
+                try:
+                    item = self._results.get(timeout=0.02)
+                except Exception:  # queue.Empty
+                    checkpoint(stage)
+                    continue
+                got_epoch, index, status, value = item
+                if got_epoch != epoch:
+                    continue  # orphaned result of an interrupted batch
+                pending -= 1
+                if status == "ok":
+                    task_value, task_ticks, task_candidates, attach = value
+                    results[index] = task_value
+                    ticks += task_ticks
+                    candidates += task_candidates
+                    self.stats.attach_seconds += attach
+                elif status == "budget":
+                    breach = breach or value
+                    self._cancel.set()
+                elif status == "cancelled":
+                    self.stats.cancelled_tasks += 1
+                else:  # "error"
+                    error = error or value
+                    self._cancel.set()
+        except BaseException:
+            # Parent-side breach/fault while waiting: orphan the batch.
+            self._cancel.set()
+            raise
+        finally:
+            self._cancel.clear()
+
+        governor = current_governor()
+        if governor is not None and ticks:
+            governor.ticks += ticks
+        if error is not None:
+            raise WorkerError(f"worker task {kind!r} failed:\n{error}")
+        if breach is not None:
+            raise BudgetExceeded(
+                breach["reason"],
+                stage=breach["stage"] or stage,
+                limit=breach["limit"],
+                observed=breach["observed"],
+            )
+        if candidates:
+            add_candidates(candidates, stage)
+        return results
+
+    def _drain_stale(self) -> None:
+        """Drop results left over from an interrupted batch."""
+        while True:
+            try:
+                self._results.get_nowait()
+            except Exception:
+                return
+
+
+def _governor_snapshot(governor: Governor | None) -> dict | None:
+    if governor is None:
+        return None
+    return {
+        "deadline_remaining": governor.remaining_seconds(),
+        "max_memory_bytes": governor.budget.max_memory_bytes,
+        "check_interval": governor.budget.check_interval,
+    }
+
+
+# ----------------------------------------------------------------------
+# The process-wide pool singleton
+# ----------------------------------------------------------------------
+_POOL: WorkerPool | None = None
+
+
+def get_pool(workers: int) -> WorkerPool:
+    """Return the shared pool, (re)creating it at the requested size."""
+    global _POOL
+    if _POOL is not None and (_POOL.workers != workers or _POOL._closed):
+        if not _POOL._closed:
+            _POOL.close()
+        _POOL = None
+    if _POOL is None:
+        _POOL = WorkerPool(workers)
+        atexit.register(shutdown_pool)
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Close the shared pool (idempotent; registered atexit)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.close()
+        _POOL = None
+
+
+def note_serial_fallback() -> None:
+    """Record that a hot path chose serial execution (cost model/size)."""
+    if _POOL is not None:
+        _POOL.stats.serial_fallbacks += 1
+
+
+def note_export(seconds: float) -> None:
+    """Account one shared-memory export's copy time."""
+    if _POOL is not None:
+        _POOL.stats.export_seconds += seconds
+
+
+def note_shard_items(count: int) -> None:
+    """Account the number of work items spread over one batch."""
+    if _POOL is not None:
+        _POOL.stats.shard_items += count
+
+
+def pool_stats() -> PoolStats | None:
+    """The shared pool's cumulative stats (None before first use)."""
+    return None if _POOL is None else _POOL.stats

@@ -70,7 +70,7 @@ class DataProfile:
         ]
         if self.counters:
             lines.append(
-                "  PLI cache: "
+                "  counters: "
                 + ", ".join(
                     f"{key}={value}" for key, value in self.counters.items()
                 )
@@ -124,12 +124,16 @@ def profile(
     fd_algorithm: FDAlgorithm | str = "hyfd",
     ucc_algorithm: str = "ducc",
     null_equals_null: bool = True,
+    workers: int | None = None,
 ) -> DataProfile:
     """Profile one relation: column stats, minimal FDs, minimal UCCs.
 
     ``counters`` in the returned profile carries the PLI-cache
     hit/miss/eviction totals of the discovery runs (prefixed ``fd_`` /
-    ``ucc_``) whenever the chosen algorithms expose them.
+    ``ucc_``) whenever the chosen algorithms expose them, plus — with
+    ``workers > 1`` — the worker-pool counters of the FD discovery run
+    (``pool_``-prefixed: tasks dispatched, shard sizes, shared-memory
+    attach/export times, serial fallbacks).
     """
     timings: dict[str, float] = {}
     counters: dict[str, int] = {}
@@ -140,12 +144,14 @@ def profile(
 
     started = time.perf_counter()
     if isinstance(fd_algorithm, str):
-        fd_algorithm = resolve_fd_algorithm(
-            fd_algorithm, null_equals_null=null_equals_null
-        )
+        kwargs = {"null_equals_null": null_equals_null}
+        if fd_algorithm.lower() in ("hyfd", "tane"):
+            kwargs["workers"] = workers
+        fd_algorithm = resolve_fd_algorithm(fd_algorithm, **kwargs)
     fds = fd_algorithm.discover(instance)
     timings["fd_discovery"] = time.perf_counter() - started
     _collect_cache_counters(counters, "fd_", fd_algorithm)
+    _collect_pool_counters(counters, fd_algorithm)
 
     started = time.perf_counter()
     ucc = resolve_ucc_algorithm(
@@ -172,6 +178,12 @@ def _collect_cache_counters(counters: dict[str, int], prefix: str, algorithm) ->
     if stats is not None:
         for key, value in stats.as_dict().items():
             counters[f"{prefix}{key}"] = value
+
+
+def _collect_pool_counters(counters: dict[str, int], algorithm) -> None:
+    stats = getattr(algorithm, "last_pool_stats", None)
+    if stats is not None:
+        counters.update(stats.as_dict())
 
 
 def profile_many(

@@ -44,7 +44,13 @@ from repro.structures.encoding import encode_column
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.model.instance import RelationInstance
 
-__all__ = ["CacheStats", "PLICache", "StrippedPartition", "column_value_ids"]
+__all__ = [
+    "CacheStats",
+    "PLICache",
+    "StrippedPartition",
+    "column_value_ids",
+    "reset_process_state",
+]
 
 
 # One shared probe buffer for all intersections (single-threaded library).
@@ -63,6 +69,19 @@ def _probe_buffer(num_rows: int) -> array:
         _PROBE_BUFFER.extend(grow)
         _NEG_ONES.extend(grow)
     return _PROBE_BUFFER
+
+
+def reset_process_state() -> None:
+    """Reinitialize the module's shared scratch buffers.
+
+    Called by forked pool workers on start: the probe buffer is owned
+    by the process that fills it, and a child forked while a parent
+    ``intersect`` was in flight would otherwise inherit a buffer with
+    live (non ``-1``) entries and silently corrupt its first product.
+    Dropping the capacity also releases memory the worker never needs.
+    """
+    del _PROBE_BUFFER[:]
+    del _NEG_ONES[:]
 
 
 class StrippedPartition:

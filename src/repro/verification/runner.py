@@ -133,6 +133,7 @@ def verify_seeds(
     fd_algorithms: Mapping[str, object] | Sequence[str] | None = None,
     ucc_algorithms: Sequence[str] | None = None,
     progress: Callable[[str], None] | None = None,
+    workers: int | None = None,
 ) -> VerificationReport:
     """Run the full check battery over a seed range or iterable.
 
@@ -140,6 +141,12 @@ def verify_seeds(
     (names, or a mapping including pre-built algorithm objects — the
     mutation smoke tests inject deliberately broken discoverers this
     way).  Failures are shrunk unless ``shrink=False``.
+
+    ``workers > 1`` shards the seed list over the process pool, one
+    contiguous chunk per worker; every seed's round is independent and
+    chunk reports are merged in seed order, so the campaign outcome is
+    identical to a serial run.  Campaigns with injected algorithm
+    *objects* (not picklable by contract) always run serially.
     """
     if isinstance(seeds, int):
         seeds = range(seeds)
@@ -149,14 +156,97 @@ def verify_seeds(
     ucc_algorithms = (
         tuple(DEFAULT_UCC_ALGORITHMS) if ucc_algorithms is None else ucc_algorithms
     )
+    seed_list = list(seeds)
+    resolved = _resolve_campaign_workers(workers, seed_list, fd_algorithms)
+    if resolved > 1:
+        return _verify_seeds_parallel(
+            seed_list,
+            num_rows,
+            max_columns,
+            shrink,
+            fd_algorithms,
+            ucc_algorithms,
+            progress,
+            resolved,
+        )
     report = VerificationReport()
-    for seed in seeds:
+    for seed in seed_list:
         report.seeds.append(seed)
         if progress is not None:
             progress(f"seed {seed}")
         _verify_one_seed(
             seed, report, num_rows, max_columns, shrink, fd_algorithms, ucc_algorithms
         )
+    return report
+
+
+def _resolve_campaign_workers(workers, seed_list, fd_algorithms) -> int:
+    from repro.parallel import resolve_workers
+
+    resolved = resolve_workers(workers)
+    if resolved <= 1 or len(seed_list) < 2:
+        return 1
+    named = (
+        fd_algorithms.values()
+        if isinstance(fd_algorithms, Mapping)
+        else fd_algorithms
+    )
+    if not all(isinstance(algorithm, str) for algorithm in named):
+        return 1
+    return resolved
+
+
+def _verify_seeds_parallel(
+    seed_list: list[int],
+    num_rows: int,
+    max_columns: int,
+    shrink: bool,
+    fd_algorithms,
+    ucc_algorithms,
+    progress,
+    workers: int,
+) -> VerificationReport:
+    from repro.parallel import RelationRun
+
+    names = (
+        dict(fd_algorithms)
+        if isinstance(fd_algorithms, Mapping)
+        else tuple(fd_algorithms)
+    )
+    run = RelationRun(workers)
+    try:
+        payloads = [
+            {
+                "seeds": seed_list[start:stop],
+                "num_rows": num_rows,
+                "max_columns": max_columns,
+                "shrink": shrink,
+                "fd_algorithms": names,
+                "ucc_algorithms": tuple(ucc_algorithms),
+            }
+            for start, stop in run.ranges(len(seed_list))
+        ]
+        report = VerificationReport()
+        for index, chunk in enumerate(
+            run.map(
+                "verify_chunk",
+                payloads,
+                stage="verify-campaign",
+                items=len(seed_list),
+            )
+        ):
+            chunk_seeds, checks_run, failures, losses = chunk
+            report.seeds.extend(chunk_seeds)
+            report.checks_run += checks_run
+            report.failures.extend(failures)
+            report.dependency_losses += losses
+            if progress is not None:
+                progress(
+                    f"chunk {index + 1}/{len(payloads)} "
+                    f"({len(report.seeds)}/{len(seed_list)} seeds)"
+                )
+    finally:
+        run.close()
     return report
 
 
@@ -434,6 +524,14 @@ def build_verify_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-seed progress"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the seed campaign over N worker processes "
+        "(default: $REPRO_WORKERS or 1; --faults/--incremental stay serial)",
+    )
+    parser.add_argument(
         "--faults",
         action="store_true",
         help="run the fault-injection campaign instead: deterministic "
@@ -494,6 +592,7 @@ def main_verify(argv: Sequence[str] | None = None) -> int:
         max_columns=args.columns,
         shrink=not args.no_shrink,
         progress=progress,
+        workers=args.workers,
     )
     if not args.quiet:
         print()

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: verify verify-parallel fuzz fuzz-faults fuzz-incremental bench bench-engine bench-incremental bench-parallel
+.PHONY: verify verify-parallel verify-kernels fuzz fuzz-faults fuzz-incremental fuzz-kernels bench bench-engine bench-incremental bench-parallel bench-kernels
 
 # Tier-1 suite — the gate every change must keep green (see ROADMAP.md).
 verify:
@@ -11,6 +11,13 @@ verify:
 # Tier-1 again with the process pool engaged (docs/PARALLEL.md).
 verify-parallel:
 	REPRO_WORKERS=2 PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Tier-1 pinned to each kernel backend, then the kernel-differential
+# file under the pure-Python oracle (docs/KERNELS.md).  Requires numpy
+# (pip install -e .[perf]); without it REPRO_KERNEL=numpy errors out.
+verify-kernels:
+	REPRO_KERNEL=numpy PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	REPRO_KERNEL=python PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_kernels_differential.py
 
 # Differential/metamorphic verification campaign (docs/TESTING.md).
 fuzz:
@@ -28,6 +35,12 @@ fuzz-faults:
 fuzz-incremental:
 	PYTHONPATH=src $(PYTHON) -m repro verify --incremental --seeds 25 --batches 10
 
+# Kernel-differential campaign: numpy vs python identity on the full
+# kernel surface, plus the verification harness pinned to numpy.
+fuzz-kernels:
+	KERNEL_FUZZ_SEEDS=50 PYTHONPATH=src $(PYTHON) -m pytest -q -m fuzz tests/test_kernels_differential.py
+	PYTHONPATH=src $(PYTHON) -m repro verify --seeds 25 --kernel numpy
+
 # Full paper-reproduction benchmark harness (writes benchmarks/results/).
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
@@ -44,3 +57,12 @@ bench-incremental:
 # docs/PARALLEL.md explains why single-CPU hosts report < 1.0x).
 bench-parallel:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py --benchmark-only -q
+
+# Kernel backend comparison: partition-engine micro-benchmarks under
+# both backends (enforces the ≥5x large-preset gate, writes
+# BENCH_partition_engine.json), then the scaling bench once per
+# backend so BENCH_parallel_scaling.json accumulates both runs.
+bench-kernels:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_partition_engine.py --benchmark-only -q
+	REPRO_KERNEL=python PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py --benchmark-only -q
+	REPRO_KERNEL=numpy PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py --benchmark-only -q

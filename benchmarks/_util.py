@@ -5,14 +5,21 @@ the file-descriptor level, so :func:`emit` temporarily disables the
 capture manager to reach the real terminal, and additionally persists
 every table under ``benchmarks/results/`` so the numbers survive the
 run (EXPERIMENTS.md is written from those files).
+
+:func:`emit_json` additionally persists machine-readable results as
+``benchmarks/results/BENCH_<name>.json`` so the perf trajectory is
+trackable across PRs: each document carries the timings, dataset
+sizes, the kernel backend, and the worker count of the run.
 """
 
 from __future__ import annotations
 
+import json
+import platform
 import re
 from pathlib import Path
 
-__all__ = ["emit"]
+__all__ = ["emit", "emit_json"]
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -39,3 +46,39 @@ def emit(text: str, request=None, filename: str | None = None) -> None:
         first_line = text.splitlines()[0] if text else "report"
         filename = re.sub(r"[^a-z0-9]+", "_", first_line.lower()).strip("_")[:60]
     (RESULTS_DIR / f"{filename}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def emit_json(name: str, payload: dict, key: str | None = None) -> Path:
+    """Persist machine-readable results to ``BENCH_<name>.json``.
+
+    Without ``key`` the document is ``{"bench", "environment", **payload}``,
+    rewritten atomically per run.  With ``key`` (e.g. a backend name)
+    the payload is merged into the document's ``runs`` mapping instead,
+    so successive runs under different configurations accumulate in one
+    file rather than clobbering each other.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    document = {
+        "bench": name,
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    if key is not None:
+        if path.exists():
+            try:
+                previous = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                previous = {}
+            if previous.get("bench") == name:
+                document = previous
+        document.setdefault("runs", {})[key] = payload
+    else:
+        document.update(payload)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -15,21 +15,79 @@ from __future__ import annotations
 
 import pytest
 
-from _util import emit
+from _util import emit, emit_json
 from repro.core.normalize import Normalizer
 from repro.datagen.musicbrainz import MUSICBRAINZ_GOLD
+from repro.discovery.hyfd import HyFD
 from repro.discovery.precomputed import PrecomputedFDs
 from repro.evaluation.metrics import evaluate_schema_recovery
 from repro.evaluation.snowflake import schema_tree
 
 _REPORT: list[str] = []
 
+#: operation → backend (or "auto") → seconds
+_TIMINGS: dict[str, dict[str, float]] = {}
+
+#: per-backend sorted FD covers, asserted identical across backends
+_COVERS: dict[str, list] = {}
+
 
 @pytest.fixture(scope="module", autouse=True)
-def _figure4_report(request):
+def _figure4_report(request, datasets):
     yield
     for text in _REPORT:
         emit(text, request, filename="figure4_musicbrainz_recovery")
+    if not _TIMINGS:
+        return
+    universal = datasets["musicbrainz"]
+    discovery = _TIMINGS.get("hyfd_discovery", {})
+    python_s = discovery.get("python")
+    numpy_s = discovery.get("numpy")
+    emit_json(
+        "figure4_musicbrainz",
+        {
+            "workers": 1,
+            "dataset_sizes": {
+                "musicbrainz_universal": {
+                    "rows": universal.num_rows,
+                    "columns": universal.arity,
+                }
+            },
+            "timings_seconds": _TIMINGS,
+            "hyfd_speedup_numpy_over_python": (
+                python_s / numpy_s if python_s and numpy_s else None
+            ),
+            "covers_identical_across_backends": (
+                len(set(map(str, _COVERS.values()))) == 1
+                if len(_COVERS) > 1
+                else None
+            ),
+        },
+    )
+
+
+def test_hyfd_discovery_per_backend(benchmark, datasets, kernel):
+    """End-to-end FD discovery on the denormalized MusicBrainz table,
+    once per kernel backend — the Figure 4 pipeline's dominant cost.
+
+    Beyond the timing, the discovered cover must be byte-identical
+    across backends: a faster-but-different cover is a failure.
+    """
+    universal = datasets["musicbrainz"]
+    universal.invalidate_caches()
+
+    cover = benchmark.pedantic(
+        lambda: HyFD().discover(universal), rounds=1, iterations=1
+    )
+    _TIMINGS.setdefault("hyfd_discovery", {})[kernel] = (
+        benchmark.stats.stats.min
+    )
+    _COVERS[kernel] = sorted((fd.lhs, fd.rhs) for fd in cover)
+    assert cover, "MusicBrainz universal relation must yield FDs"
+    for other, other_cover in _COVERS.items():
+        assert other_cover == _COVERS[kernel], (
+            f"FD cover differs between {other} and {kernel} backends"
+        )
 
 
 def test_normalize_musicbrainz_universal(benchmark, datasets, discovery):
@@ -41,6 +99,7 @@ def test_normalize_musicbrainz_universal(benchmark, datasets, discovery):
     result = benchmark.pedantic(
         normalizer.run, args=(universal,), rounds=1, iterations=1
     )
+    _TIMINGS.setdefault("normalize", {})["auto"] = benchmark.stats.stats.min
 
     report = evaluate_schema_recovery(result.schema, MUSICBRAINZ_GOLD)
     # the root relation (kept name) is the fact-table-like top relation

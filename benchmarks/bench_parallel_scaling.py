@@ -22,7 +22,8 @@ import time
 
 import pytest
 
-from _util import emit
+from _util import emit, emit_json
+from repro import kernels
 from repro.core.normalize import Normalizer
 from repro.discovery.hyfd import HyFD
 from repro.evaluation.reporting import format_table
@@ -83,6 +84,31 @@ def _scaling_report(request):
         ),
         request,
         filename="parallel_scaling",
+    )
+    # One run measures one kernel backend (whatever REPRO_KERNEL / auto
+    # resolves to); successive runs accumulate under "runs" in the JSON.
+    backend = kernels.backend_name()
+    emit_json(
+        "parallel_scaling",
+        {
+            "kernel_backend": backend,
+            "cpus": os.cpu_count(),
+            "worker_counts": WORKER_COUNTS,
+            "dataset_sizes": {"planted": {"rows": 4_000, "columns": 8}},
+            "timings_seconds": {
+                name: {str(w): t for w, t in series.items()}
+                for name, series in _SERIES.items()
+            },
+            "speedups_over_serial": {
+                name: {
+                    str(w): series[1] / t
+                    for w, t in series.items()
+                    if series.get(1) and t
+                }
+                for name, series in _SERIES.items()
+            },
+        },
+        key=backend,
     )
 
 

@@ -21,6 +21,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
+from repro import kernels
 from repro.core.closure import optimized_closure
 from repro.datagen.musicbrainz import denormalized_musicbrainz
 from repro.datagen.profiles import (
@@ -31,6 +32,31 @@ from repro.datagen.profiles import (
 )
 from repro.datagen.tpch import denormalized_tpch
 from repro.discovery.hyfd import HyFD
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--kernel",
+        default="auto",
+        choices=("auto", "python", "numpy"),
+        help="restrict kernel-parametrized benchmarks to one backend "
+        "(auto = run every available backend and report speedups)",
+    )
+
+
+#: kernel backends available on this install, python (the oracle) first
+BACKENDS = ["python"] + (["numpy"] if kernels.numpy_available() else [])
+
+
+@pytest.fixture(params=BACKENDS)
+def kernel(request):
+    """Pin the kernel backend for one benchmark, honouring ``--kernel``."""
+    chosen = request.config.getoption("--kernel")
+    if chosen != "auto" and request.param != chosen:
+        pytest.skip(f"--kernel {chosen} deselects the {request.param} backend")
+    kernels.set_backend(request.param)
+    yield request.param
+    kernels.set_backend(None)
 
 
 @pytest.fixture(scope="session")

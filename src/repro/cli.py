@@ -156,6 +156,14 @@ def build_parser() -> argparse.ArgumentParser:
         "fan-out (default: $REPRO_WORKERS or 1 = serial); results are "
         "byte-identical at any worker count",
     )
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        choices=("python", "numpy", "auto"),
+        help="kernel backend for the partition/agree-set hot paths "
+        "(default: $REPRO_KERNEL or auto = numpy when installed); "
+        "results are byte-identical under either backend",
+    )
     governance = parser.add_argument_group("resource governance")
     governance.add_argument(
         "--deadline",
@@ -284,8 +292,23 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_INPUT_ERROR
 
 
+def _select_kernel(name: str | None) -> None:
+    """Apply ``--kernel`` and resolve eagerly.
+
+    Eager resolution surfaces "numpy requested but not installed" as an
+    :class:`InputError` at the CLI boundary (exit 2) instead of deep
+    inside discovery.
+    """
+    if name is not None:
+        from repro import kernels
+
+        kernels.set_backend(name)
+        kernels.backend_name()
+
+
 def _main_normalize(argv: list[str]) -> int:
     args = build_parser().parse_args(argv)
+    _select_kernel(args.kernel)
     instances = [
         read_csv(
             path,
@@ -500,6 +523,13 @@ def build_apply_batch_parser(watch: bool = False) -> argparse.ArgumentParser:
         help="how to treat malformed CSV rows (default: strict)",
     )
     parser.add_argument(
+        "--kernel",
+        default=None,
+        choices=("python", "numpy", "auto"),
+        help="kernel backend for the partition/agree-set hot paths "
+        "(default: $REPRO_KERNEL or auto)",
+    )
+    parser.add_argument(
         "--ddl",
         metavar="FILE",
         help="write the final schema's CREATE TABLE statements here",
@@ -574,6 +604,7 @@ def _main_apply_batch(argv: list[str], watch: bool) -> int:
     from repro.io.serialization import load_changelog
 
     args = build_apply_batch_parser(watch=watch).parse_args(argv)
+    _select_kernel(args.kernel)
     instances = [
         read_csv(
             path,

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import heapq
 
+from repro import kernels
 from repro.model.instance import RelationInstance
 from repro.runtime.governor import checkpoint
 from repro.structures.partitions import PLICache
@@ -50,6 +51,9 @@ class Sampler:
                 for cluster in cache.get(1 << attr).iter_clusters()
             ]
             self._clusters.append(sorted_clusters)
+        # Per-attribute numpy copies of the sorted clusters, built lazily
+        # on the first vectorized window (numpy backend only).
+        self._np_clusters: dict[int, list] = {}
         self.negative_cover: set[int] = set()
         self._distances = [0] * self.arity
         self._queue: list[tuple[float, int]] = [
@@ -86,6 +90,8 @@ class Sampler:
             ]
             if self.parallel.should(len(pairs) * self.arity):
                 return len(pairs), self._merge_window(pairs)
+        if kernels.backend_name() == "numpy":
+            return self._run_window_numpy(attr, distance)
         compared = 0
         fresh: list[int] = []
         for cluster in self._clusters[attr]:
@@ -96,6 +102,45 @@ class Sampler:
                 if agree is not None:
                     fresh.append(agree)
         return compared, fresh
+
+    def _run_window_numpy(self, attr: int, distance: int) -> tuple[int, list[int]]:
+        """Vectorized window: batch every pair of the round into one
+        agree-set kernel call, then replay the dedup in pair order.
+
+        The pair order (clusters in PLI order, window positions
+        ascending) and the checkpoint granularity (one call per cluster,
+        same units) match the interpreted loop exactly, so the negative
+        cover, the efficiency queue, and governor tick counts evolve
+        identically.
+        """
+        np = kernels.numpy_module()
+        arrays = self._np_clusters.get(attr)
+        if arrays is None:
+            arrays = [
+                np.asarray(cluster, dtype=np.intp)
+                for cluster in self._clusters[attr]
+            ]
+            self._np_clusters[attr] = arrays
+        lefts = []
+        rights = []
+        for cluster in arrays:
+            width = len(cluster) - distance
+            checkpoint("hyfd-sample", units=max(width, 1))
+            if width > 0:
+                lefts.append(cluster[:width])
+                rights.append(cluster[distance:])
+        if not lefts:
+            return 0, []
+        masks = self._encoding.agree_sets_batch(
+            np.concatenate(lefts), np.concatenate(rights)
+        )
+        self.comparisons += len(masks)
+        fresh: list[int] = []
+        for agree in masks:
+            if agree not in self.negative_cover:
+                self.negative_cover.add(agree)
+                fresh.append(agree)
+        return len(masks), fresh
 
     def _merge_window(self, pairs: list[tuple[int, int]]) -> list[int]:
         """Shard the agree-mask computation; replay the dedup in order."""

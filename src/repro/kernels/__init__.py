@@ -1,0 +1,209 @@
+"""Kernel backend layer for the encoded-column hot paths.
+
+The partition engine (:mod:`repro.structures.partitions`) and the
+agree-set helper (:mod:`repro.structures.encoding`) dispatch their inner
+loops through this package so the same interfaces can run on either of
+two interchangeable backends:
+
+* ``python`` — the original interpreted loops, moved verbatim into
+  :mod:`repro.kernels.pybackend`.  Always available; serves as the
+  differential oracle for the vectorized path
+  (``tests/test_kernels_differential.py``).
+* ``numpy`` — sort/groupby-based partition refinement, bulk multi-RHS
+  violation scans, and uint64-packed bitset agree-set extraction in
+  :mod:`repro.kernels.npbackend`.  Requires the optional ``[perf]``
+  extra (``pip install -e .[test,perf]``).
+
+Backend selection is lazy and process-wide: the first kernel call
+resolves ``set_backend()`` (programmatic, e.g. the ``--kernel`` CLI
+flag) or the ``REPRO_KERNEL`` environment variable (``python`` /
+``numpy`` / ``auto``).  ``auto`` — the default — picks numpy when it is
+importable and silently falls back to pure Python otherwise, so a plain
+``pip install`` without numpy keeps the full test suite green.
+
+Both backends honour the same determinism contract (docs/KERNELS.md):
+identical CSR bytes for every partition, the identical violating row
+pair for every refuted FD, and identical agree masks — so parallel
+numpy runs stay byte-identical to serial pure-Python runs.
+
+Every dispatch records per-kernel call/row counters; ``profile()``
+snapshots them into ``DataProfile.counters`` together with the active
+backend name.
+"""
+
+from __future__ import annotations
+
+import os
+from types import ModuleType
+
+from repro.runtime.errors import InputError
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "active",
+    "backend_name",
+    "counters_delta",
+    "counters_snapshot",
+    "ensure_backend",
+    "numpy_available",
+    "numpy_module",
+    "record",
+    "reset_counters",
+    "reset_process_state",
+    "set_backend",
+]
+
+BACKEND_CHOICES = ("python", "numpy", "auto")
+
+# Programmatic override (set_backend); None means "consult REPRO_KERNEL".
+_requested: str | None = None
+# Resolved backend module + name; None until the first kernel dispatch.
+_active: ModuleType | None = None
+_active_name: str | None = None
+
+_counters: dict[str, int] = {}
+
+
+def numpy_available() -> bool:
+    """True iff numpy is importable in this process."""
+    try:
+        import numpy  # noqa: F401
+    except Exception:  # pragma: no cover - import failure path
+        return False
+    return True
+
+
+def numpy_module():
+    """The numpy module, or ``None`` when it is not importable.
+
+    Callers that build batched index arrays (the HyFD sampler) use this
+    instead of importing numpy directly, so they degrade gracefully on
+    a pure-Python install.
+    """
+    try:
+        import numpy
+    except Exception:  # pragma: no cover - import failure path
+        return None
+    return numpy
+
+
+def _requested_name() -> str:
+    if _requested is not None:
+        return _requested
+    raw = os.environ.get("REPRO_KERNEL", "").strip().lower()
+    if not raw:
+        return "auto"
+    if raw not in BACKEND_CHOICES:
+        raise InputError(
+            f"REPRO_KERNEL={raw!r} is not a valid kernel backend; "
+            f"choose one of {', '.join(BACKEND_CHOICES)}"
+        )
+    return raw
+
+
+def _resolve() -> None:
+    global _active, _active_name
+    name = _requested_name()
+    if name == "auto":
+        name = "numpy" if numpy_available() else "python"
+    if name == "numpy":
+        if not numpy_available():
+            raise InputError(
+                "kernel backend 'numpy' requested but numpy is not "
+                "importable; install the [perf] extra "
+                "(pip install -e .[perf]) or use --kernel python"
+            )
+        from repro.kernels import npbackend as module
+    else:
+        from repro.kernels import pybackend as module
+    _active = module
+    _active_name = name
+
+
+def active() -> ModuleType:
+    """The resolved backend module (resolving lazily on first use)."""
+    if _active is None:
+        _resolve()
+    return _active
+
+
+def backend_name() -> str:
+    """The resolved backend name: ``"python"`` or ``"numpy"``."""
+    if _active is None:
+        _resolve()
+    return _active_name
+
+
+def set_backend(name: str | None) -> None:
+    """Select the kernel backend programmatically.
+
+    ``name`` is one of ``python`` / ``numpy`` / ``auto``, or ``None`` to
+    drop the override and fall back to ``REPRO_KERNEL``.  Resolution is
+    re-done lazily, so selecting ``numpy`` on an install without numpy
+    only fails once a kernel is actually needed (or eagerly via
+    :func:`backend_name`).
+    """
+    global _requested, _active, _active_name
+    if name is not None:
+        name = name.strip().lower()
+        if name not in BACKEND_CHOICES:
+            raise InputError(
+                f"unknown kernel backend {name!r}; "
+                f"choose one of {', '.join(BACKEND_CHOICES)}"
+            )
+    _requested = name
+    _active = None
+    _active_name = None
+
+
+def ensure_backend(name: str) -> None:
+    """Pin this process to an already-resolved backend name.
+
+    Pool workers call this per task batch with the parent's resolved
+    backend so spawned (non-fork) workers never re-resolve ``auto``
+    differently from the parent.  A no-op when already matching.
+    """
+    if name != backend_name():
+        set_backend(name)
+
+
+# ----------------------------------------------------------------------
+# Per-kernel call/row counters (surfaced via DataProfile.counters)
+# ----------------------------------------------------------------------
+def record(kernel: str, rows: int) -> None:
+    """Count one kernel dispatch processing ``rows`` row slots."""
+    calls_key = f"kernel_{kernel}_calls"
+    rows_key = f"kernel_{kernel}_rows"
+    _counters[calls_key] = _counters.get(calls_key, 0) + 1
+    _counters[rows_key] = _counters.get(rows_key, 0) + rows
+
+
+def counters_snapshot() -> dict[str, int]:
+    return dict(_counters)
+
+
+def counters_delta(mark: dict[str, int]) -> dict[str, int]:
+    """Counter increments since ``mark`` (zero deltas omitted)."""
+    delta = {}
+    for key, value in _counters.items():
+        increment = value - mark.get(key, 0)
+        if increment:
+            delta[key] = increment
+    return delta
+
+
+def reset_counters() -> None:
+    _counters.clear()
+
+
+def reset_process_state() -> None:
+    """Fork hygiene: drop counters and backend scratch buffers.
+
+    Called by pool workers on start (alongside
+    ``partitions.reset_process_state``) so a child never inherits the
+    parent's counter totals or a probe buffer with live entries.
+    """
+    reset_counters()
+    from repro.kernels import pybackend
+
+    pybackend.reset_scratch()

@@ -238,18 +238,26 @@ def _budget_from_snapshot(snapshot: dict | None, cancel_event) -> _WorkerGoverno
 
 
 def _worker_main(tasks_queue, results_queue, cancel_event, epoch_value) -> None:
-    """Worker loop: pull ``(epoch, index, kind, payload, budget)`` tuples."""
+    """Worker loop: pull ``(epoch, index, kind, payload, budget, kernel)``.
+
+    ``kernel`` is the parent's *resolved* kernel backend name; pinning
+    it per task keeps spawned (non-fork) workers from re-resolving
+    ``auto`` differently from the parent, so shard results stay
+    byte-identical to serial runs under either backend.
+    """
     _reset_worker_state()
+    from repro import kernels
     from repro.parallel.tasks import TASK_HANDLERS, worker_attach_seconds
 
     while True:
         item = tasks_queue.get()
         if item is None:
             break
-        epoch, index, kind, payload, budget_snapshot = item
+        epoch, index, kind, payload, budget_snapshot, kernel = item
         if epoch < epoch_value.value or cancel_event.is_set():
             results_queue.put((epoch, index, "cancelled", None))
             continue
+        kernels.ensure_backend(kernel)
         governor = _budget_from_snapshot(budget_snapshot, cancel_event)
         attach_before = worker_attach_seconds()
         try:
@@ -402,9 +410,12 @@ class WorkerPool:
         self._cancel.clear()
         self._drain_stale()
 
+        from repro import kernels
+
         snapshot = _governor_snapshot(current_governor())
+        kernel = kernels.backend_name()
         for index, payload in enumerate(payloads):
-            self._tasks.put((epoch, index, kind, payload, snapshot))
+            self._tasks.put((epoch, index, kind, payload, snapshot, kernel))
         self.stats.batches += 1
         self.stats.tasks_dispatched += len(payloads)
         self.stats.largest_shard = max(self.stats.largest_shard, len(payloads))

@@ -129,13 +129,26 @@ def _closure_shard(payload: dict) -> list[int]:
 
 
 def _agree_pairs(payload: dict) -> list[int]:
-    """Agree-set masks for a shard of record pairs (sampler hot path)."""
+    """Agree-set masks for a shard of record pairs (sampler hot path).
+
+    Under the numpy backend the whole shard goes through one batched
+    kernel call (checkpointing once with the shard's unit count);
+    otherwise the pairs are compared one by one.  Both paths return the
+    masks in pair order, so the parent's dedup replay is identical.
+    """
+    from repro import kernels
     from repro.runtime.governor import checkpoint
 
     encoding = _attached(payload["handle"])
+    pairs = payload["pairs"]
+    if kernels.backend_name() == "numpy" and len(pairs) > 1:
+        checkpoint("hyfd-sample", units=len(pairs))
+        lefts = [pair[0] for pair in pairs]
+        rights = [pair[1] for pair in pairs]
+        return encoding.agree_sets_batch(lefts, rights)
     agree_set = encoding.agree_set
     out = []
-    for left, right in payload["pairs"]:
+    for left, right in pairs:
         checkpoint("hyfd-sample")
         out.append(agree_set(left, right))
     return out

@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import kernels
 from repro.discovery.base import FDAlgorithm, resolve_fd_algorithm
 from repro.discovery.ind import IND, discover_unary_inds
 from repro.discovery.ucc import resolve_ucc_algorithm
@@ -57,7 +58,8 @@ class DataProfile:
     fds: FDSet
     uccs: list[int]
     timings: dict[str, float] = field(default_factory=dict)
-    counters: dict[str, int] = field(default_factory=dict)
+    #: integer totals plus the ``kernel_backend`` name string
+    counters: dict[str, int | str] = field(default_factory=dict)
 
     def to_str(self) -> str:
         lines = [
@@ -133,10 +135,14 @@ def profile(
     ``ucc_``) whenever the chosen algorithms expose them, plus — with
     ``workers > 1`` — the worker-pool counters of the FD discovery run
     (``pool_``-prefixed: tasks dispatched, shard sizes, shared-memory
-    attach/export times, serial fallbacks).
+    attach/export times, serial fallbacks).  It also records the active
+    kernel backend (``kernel_backend``) and this profile run's
+    per-kernel call/row totals (``kernel_*_calls`` / ``kernel_*_rows``;
+    parent process only — worker-side kernel calls are not folded back).
     """
     timings: dict[str, float] = {}
-    counters: dict[str, int] = {}
+    counters: dict[str, int | str] = {}
+    kernel_mark = kernels.counters_snapshot()
 
     started = time.perf_counter()
     columns = _column_stats(instance)
@@ -160,6 +166,9 @@ def profile(
     uccs = ucc.discover(instance)
     timings["ucc_discovery"] = time.perf_counter() - started
     _collect_cache_counters(counters, "ucc_", ucc)
+
+    counters["kernel_backend"] = kernels.backend_name()
+    counters.update(kernels.counters_delta(kernel_mark))
 
     return DataProfile(
         relation=instance.name,

@@ -37,6 +37,8 @@ from array import array
 from collections.abc import Sequence
 from typing import Any
 
+from repro import kernels
+
 __all__ = ["EncodedRelation", "encode_column"]
 
 
@@ -225,6 +227,23 @@ class EncodedRelation:
                 agree |= bit
             bit <<= 1
         return agree
+
+    def agree_sets_batch(
+        self, lefts: Sequence[int], rights: Sequence[int]
+    ) -> list[int]:
+        """Agree masks for many row pairs in one kernel dispatch.
+
+        ``masks[i]`` equals ``agree_set(lefts[i], rights[i])``; under the
+        numpy backend the comparison runs column-at-a-time over the whole
+        batch with the masks packed into uint64 bitset words.
+        """
+        kernels.record("agree_pairs", len(lefts))
+        return kernels.active().agree_pairs(self.codes, lefts, rights)
+
+    def agree_sets_vs(self, left: int, rights: Sequence[int]) -> list[int]:
+        """Agree masks of one row against many others (incremental engine)."""
+        kernels.record("agree_pairs", len(rights))
+        return kernels.active().agree_one_to_many(self.codes, left, rights)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -17,12 +17,13 @@ intersection, refinement checks) on flat integer arrays and removes a
 Python list object per cluster.  ``clusters`` is kept as a materializing
 property for compatibility and tests.
 
-Intersection reuses one module-level probe buffer (grown on demand,
-reset after use), so repeated products allocate no O(num_rows) scratch
-per call.  The library is single-threaded by design (DESIGN.md §3), so
-the shared buffer needs no locking; :meth:`StrippedPartition.intersect`
-is reentrancy-safe because it resets only the entries it touched before
-returning.
+The inner loops (grouping, products, violation scans) are *not*
+implemented here: every operation dispatches through the
+:mod:`repro.kernels` backend layer, which provides an interpreted
+pure-Python implementation (always available, the reference) and a
+vectorized numpy implementation (optional ``[perf]`` extra).  Both
+produce byte-identical CSR output; selection is via ``--kernel`` /
+``REPRO_KERNEL`` (see docs/KERNELS.md).
 
 NULL handling is configurable: with ``null_equals_null=True`` (the
 Metanome/paper default) all NULLs land in one cluster; otherwise each
@@ -37,6 +38,7 @@ from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro import kernels
 from repro.model.attributes import bits_of
 from repro.runtime.governor import add_candidates
 from repro.structures.encoding import encode_column
@@ -53,35 +55,17 @@ __all__ = [
 ]
 
 
-# One shared probe buffer for all intersections (single-threaded library).
-# Entries are -1 except while an intersect() call is in flight; each call
-# restores the entries it wrote — element-wise when few were touched, via
-# a C-speed slice copy from the constant -1 pool when most were — so
-# consecutive products of any partitions reuse the buffer without
-# allocating O(num_rows) scratch per call.
-_PROBE_BUFFER = array("i")
-_NEG_ONES = array("i")
-
-
-def _probe_buffer(num_rows: int) -> array:
-    if len(_PROBE_BUFFER) < num_rows:
-        grow = [-1] * (num_rows - len(_PROBE_BUFFER))
-        _PROBE_BUFFER.extend(grow)
-        _NEG_ONES.extend(grow)
-    return _PROBE_BUFFER
-
-
 def reset_process_state() -> None:
-    """Reinitialize the module's shared scratch buffers.
+    """Reinitialize shared kernel scratch state (fork hygiene).
 
-    Called by forked pool workers on start: the probe buffer is owned
-    by the process that fills it, and a child forked while a parent
-    ``intersect`` was in flight would otherwise inherit a buffer with
-    live (non ``-1``) entries and silently corrupt its first product.
-    Dropping the capacity also releases memory the worker never needs.
+    Called by forked pool workers on start: the python backend's probe
+    buffer is owned by the process that fills it, and a child forked
+    while a parent ``intersect`` was in flight would otherwise inherit
+    a buffer with live (non ``-1``) entries and silently corrupt its
+    first product.  Kernel counters are worker-local and restart at
+    zero.
     """
-    del _PROBE_BUFFER[:]
-    del _NEG_ONES[:]
+    kernels.reset_process_state()
 
 
 class StrippedPartition:
@@ -131,23 +115,8 @@ class StrippedPartition:
         emitted last, preserving the ordering of the historical
         raw-value grouping.
         """
-        groups: dict[int, list[int]] = {}
-        for row, code in enumerate(codes):
-            group = groups.get(code)
-            if group is None:
-                groups[code] = [row]
-            else:
-                group.append(row)
-        null_group = groups.pop(null_code, None) if null_code is not None else None
-        row_data = array("i")
-        offsets = array("i", [0])
-        for cluster in groups.values():
-            if len(cluster) > 1:
-                row_data.extend(cluster)
-                offsets.append(len(row_data))
-        if null_group is not None and len(null_group) > 1:
-            row_data.extend(null_group)
-            offsets.append(len(row_data))
+        kernels.record("pli_from_ids", len(codes))
+        row_data, offsets = kernels.active().from_value_ids(codes, null_code)
         return cls._from_csr(row_data, offsets, len(codes))
 
     @classmethod
@@ -215,50 +184,24 @@ class StrippedPartition:
         return probe
 
     def intersect(self, other: "StrippedPartition") -> "StrippedPartition":
-        """Product partition ``π(X) · π(Y) = π(X ∪ Y)`` via probe buffer.
+        """Product partition ``π(X) · π(Y) = π(X ∪ Y)``.
 
-        The standard linear-time stripped-product algorithm, on the CSR
-        layout with a reusable probe buffer instead of a fresh
-        O(num_rows) probe list per call.
+        The standard linear-time stripped-product algorithm on the CSR
+        layout (python backend: reusable probe buffer; numpy backend:
+        scatter + sort/groupby).
         """
         if self.num_rows != other.num_rows:
             raise ValueError("partitions cover different numbers of rows")
-        probe = _probe_buffer(self.num_rows)
-        other_rows = other.row_data
-        other_offsets = other.offsets
-        try:
-            for cluster_id in range(len(other_offsets) - 1):
-                for row in other_rows[
-                    other_offsets[cluster_id] : other_offsets[cluster_id + 1]
-                ]:
-                    probe[row] = cluster_id
-            new_rows = array("i")
-            new_offsets = array("i", [0])
-            self_rows = self.row_data
-            self_offsets = self.offsets
-            sub: dict[int, list[int]] = {}
-            for cluster_id in range(len(self_offsets) - 1):
-                sub.clear()
-                for row in self_rows[
-                    self_offsets[cluster_id] : self_offsets[cluster_id + 1]
-                ]:
-                    other_id = probe[row]
-                    if other_id >= 0:
-                        group = sub.get(other_id)
-                        if group is None:
-                            sub[other_id] = [row]
-                        else:
-                            group.append(row)
-                for rows in sub.values():
-                    if len(rows) > 1:
-                        new_rows.extend(rows)
-                        new_offsets.append(len(new_rows))
-        finally:
-            if 2 * len(other_rows) >= self.num_rows:
-                probe[: self.num_rows] = _NEG_ONES[: self.num_rows]
-            else:
-                for row in other_rows:
-                    probe[row] = -1
+        kernels.record(
+            "pli_intersect", len(self.row_data) + len(other.row_data)
+        )
+        new_rows, new_offsets = kernels.active().intersect(
+            self.row_data,
+            self.offsets,
+            self.num_rows,
+            other.row_data,
+            other.offsets,
+        )
         return StrippedPartition._from_csr(new_rows, new_offsets, self.num_rows)
 
     def intersect_ids(self, codes: Sequence[int]) -> "StrippedPartition":
@@ -270,26 +213,10 @@ class StrippedPartition:
         form size-1 groups that the ``len > 1`` filter strips — the same
         rows the ``-1`` probe entries would have skipped.
         """
-        new_rows = array("i")
-        new_offsets = array("i", [0])
-        self_rows = self.row_data
-        self_offsets = self.offsets
-        sub: dict[int, list[int]] = {}
-        for cluster_id in range(len(self_offsets) - 1):
-            sub.clear()
-            for row in self_rows[
-                self_offsets[cluster_id] : self_offsets[cluster_id + 1]
-            ]:
-                value_id = codes[row]
-                group = sub.get(value_id)
-                if group is None:
-                    sub[value_id] = [row]
-                else:
-                    group.append(row)
-            for rows in sub.values():
-                if len(rows) > 1:
-                    new_rows.extend(rows)
-                    new_offsets.append(len(new_rows))
+        kernels.record("pli_intersect_ids", len(self.row_data))
+        new_rows, new_offsets = kernels.active().intersect_ids(
+            self.row_data, self.offsets, self.num_rows, codes
+        )
         return StrippedPartition._from_csr(new_rows, new_offsets, self.num_rows)
 
     def refines_column(self, probe: Sequence[int]) -> bool:
@@ -299,28 +226,21 @@ class StrippedPartition:
         non-negative ids per distinct value; NULL handling must already be
         baked into the ids (same id for all NULLs under null==null).
         """
-        row_data = self.row_data
-        offsets = self.offsets
-        for cluster_id in range(len(offsets) - 1):
-            start = offsets[cluster_id]
-            first = probe[row_data[start]]
-            for row in row_data[start + 1 : offsets[cluster_id + 1]]:
-                if probe[row] != first:
-                    return False
-        return True
+        kernels.record("scan_refines", len(self.row_data))
+        return kernels.active().refines_column(
+            self.row_data, self.offsets, probe
+        )
 
     def find_violating_pair(self, probe: Sequence[int]) -> tuple[int, int] | None:
-        """Return one row pair that agrees on X but differs on the probe."""
-        row_data = self.row_data
-        offsets = self.offsets
-        for cluster_id in range(len(offsets) - 1):
-            start = offsets[cluster_id]
-            first_row = row_data[start]
-            first = probe[first_row]
-            for row in row_data[start + 1 : offsets[cluster_id + 1]]:
-                if probe[row] != first:
-                    return (first_row, row)
-        return None
+        """Return one row pair that agrees on X but differs on the probe.
+
+        Both backends return the *same* pair: the first mismatching row
+        in CSR order, paired with its cluster's first row.
+        """
+        kernels.record("scan_violating_pair", len(self.row_data))
+        return kernels.active().find_violating_pair(
+            self.row_data, self.offsets, probe
+        )
 
     def find_violations(
         self, rhs_attrs: Sequence[int], probes: Sequence[Sequence[int]]
@@ -338,29 +258,12 @@ class StrippedPartition:
         fan-out of an LHS node costs a single pass over the partition
         data instead of one full pass per RHS attribute.
         """
-        violations: dict[int, tuple[int, int]] = {}
-        remaining = list(zip(rhs_attrs, probes))
-        if not remaining:
-            return violations
-        row_data = self.row_data
-        offsets = self.offsets
-        for cluster_id in range(len(offsets) - 1):
-            start = offsets[cluster_id]
-            first_row = row_data[start]
-            rest = row_data[start + 1 : offsets[cluster_id + 1]]
-            survivors = []
-            for attr, probe in remaining:
-                first = probe[first_row]
-                for row in rest:
-                    if probe[row] != first:
-                        violations[attr] = (first_row, row)
-                        break
-                else:
-                    survivors.append((attr, probe))
-            remaining = survivors
-            if not remaining:
-                break
-        return violations
+        kernels.record(
+            "scan_violations", len(self.row_data) * len(rhs_attrs)
+        )
+        return kernels.active().find_violations(
+            self.row_data, self.offsets, rhs_attrs, probes
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -307,11 +307,13 @@ class TestStats:
 
 class TestForkHygiene:
     def test_reset_process_state_clears_probe_buffers(self):
-        partitions_module._PROBE_BUFFER.extend([1, 2, 3])
-        partitions_module._NEG_ONES.extend([-1, -1])
+        from repro.kernels import pybackend
+
+        pybackend._PROBE_BUFFER.extend([1, 2, 3])
+        pybackend._NEG_ONES.extend([-1, -1])
         partitions_module.reset_process_state()
-        assert len(partitions_module._PROBE_BUFFER) == 0
-        assert len(partitions_module._NEG_ONES) == 0
+        assert len(pybackend._PROBE_BUFFER) == 0
+        assert len(pybackend._NEG_ONES) == 0
         # Partition operations rebuild the scratch space on demand.
         instance = plant_instance(2, num_columns=3, num_rows=12).instance
         encoding = instance.encoded(True)

@@ -154,17 +154,24 @@ class TestIntersectIds:
         assert a.intersect_ids(encoding.codes[1]).clusters == a.intersect(b).clusters
 
     def test_probe_buffer_left_clean(self):
-        from repro.structures import partitions as mod
+        # The shared probe buffer belongs to the python backend; pin it
+        # so the assertion is meaningful even when numpy is the default.
+        from repro import kernels
+        from repro.kernels import pybackend
 
-        instance = random_instance(1, 3, 200, domain_size=3)
-        a = StrippedPartition.from_column(instance.columns_data[0])
-        b = StrippedPartition.from_column(instance.columns_data[1])
-        a.intersect(b)
-        assert all(v == -1 for v in mod._PROBE_BUFFER)
-        # a sparse partition takes the element-wise reset path
-        sparse = StrippedPartition([[0, 1]], 200)
-        a.intersect(sparse)
-        assert all(v == -1 for v in mod._PROBE_BUFFER)
+        kernels.set_backend("python")
+        try:
+            instance = random_instance(1, 3, 200, domain_size=3)
+            a = StrippedPartition.from_column(instance.columns_data[0])
+            b = StrippedPartition.from_column(instance.columns_data[1])
+            a.intersect(b)
+            assert all(v == -1 for v in pybackend._PROBE_BUFFER)
+            # a sparse partition takes the element-wise reset path
+            sparse = StrippedPartition([[0, 1]], 200)
+            a.intersect(sparse)
+            assert all(v == -1 for v in pybackend._PROBE_BUFFER)
+        finally:
+            kernels.set_backend(None)
 
 
 class TestMultiRHSValidator:

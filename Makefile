@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: verify verify-parallel verify-kernels fuzz fuzz-faults fuzz-incremental fuzz-kernels bench bench-engine bench-incremental bench-parallel bench-kernels
+.PHONY: verify verify-parallel verify-kernels verify-lattice fuzz fuzz-faults fuzz-incremental fuzz-kernels fuzz-lattice bench bench-engine bench-fdtree bench-incremental bench-parallel bench-kernels
 
 # Tier-1 suite — the gate every change must keep green (see ROADMAP.md).
 verify:
@@ -18,6 +18,13 @@ verify-parallel:
 verify-kernels:
 	REPRO_KERNEL=numpy PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	REPRO_KERNEL=python PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_kernels_differential.py
+
+# Tier-1 pinned to the recursive FD-tree baseline, then the lattice
+# differential + metamorphic suites, which sweep the whole
+# engine × backend grid themselves (docs/ALGORITHMS.md).
+verify-lattice:
+	REPRO_FDTREE=legacy PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_fdtree_differential.py tests/test_lattice_metamorphic.py -m "not fuzz"
 
 # Differential/metamorphic verification campaign (docs/TESTING.md).
 fuzz:
@@ -41,6 +48,13 @@ fuzz-kernels:
 	KERNEL_FUZZ_SEEDS=50 PYTHONPATH=src $(PYTHON) -m pytest -q -m fuzz tests/test_kernels_differential.py
 	PYTHONPATH=src $(PYTHON) -m repro verify --seeds 25 --kernel numpy
 
+# Lattice-engine fuzz campaign: seeded op-sequence/cover equivalence
+# vs the naive oracle, plus the verification harness pinned to the
+# recursive baseline engine.
+fuzz-lattice:
+	LATTICE_FUZZ_SEEDS=50 PYTHONPATH=src $(PYTHON) -m pytest -q -m fuzz tests/test_fdtree_differential.py tests/test_lattice_metamorphic.py
+	PYTHONPATH=src $(PYTHON) -m repro verify --seeds 25 --fdtree legacy
+
 # Full paper-reproduction benchmark harness (writes benchmarks/results/).
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
@@ -48,6 +62,12 @@ bench:
 # Partition-engine micro-benchmarks only (the PLI hot path).
 bench-engine:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_partition_engine.py --benchmark-only -q
+
+# FD-tree lattice-engine micro-benchmarks: level vs recursive baseline
+# (enforces the ≥5x wide-lattice generalization gate, writes
+# BENCH_fdtree.json).
+bench-fdtree:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_fdtree.py --benchmark-only -q
 
 # Incremental maintenance vs. full re-discovery under append streams.
 bench-incremental:

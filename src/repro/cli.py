@@ -164,6 +164,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_KERNEL or auto = numpy when installed); "
         "results are byte-identical under either backend",
     )
+    parser.add_argument(
+        "--fdtree",
+        default=None,
+        choices=("level", "legacy"),
+        help="FD-tree engine for the positive cover (default: "
+        "$REPRO_FDTREE or level = the level-indexed lattice engine; "
+        "legacy = the recursive baseline); covers are identical under "
+        "either engine",
+    )
     governance = parser.add_argument_group("resource governance")
     governance.add_argument(
         "--deadline",
@@ -306,9 +315,18 @@ def _select_kernel(name: str | None) -> None:
         kernels.backend_name()
 
 
+def _select_fdtree(name: str | None) -> None:
+    """Apply ``--fdtree`` (validated eagerly, exit 2 on a bad name)."""
+    if name is not None:
+        from repro.structures import fdtree
+
+        fdtree.set_engine(name)
+
+
 def _main_normalize(argv: list[str]) -> int:
     args = build_parser().parse_args(argv)
     _select_kernel(args.kernel)
+    _select_fdtree(args.fdtree)
     instances = [
         read_csv(
             path,
@@ -530,6 +548,13 @@ def build_apply_batch_parser(watch: bool = False) -> argparse.ArgumentParser:
         "(default: $REPRO_KERNEL or auto)",
     )
     parser.add_argument(
+        "--fdtree",
+        default=None,
+        choices=("level", "legacy"),
+        help="FD-tree engine for the positive cover "
+        "(default: $REPRO_FDTREE or level)",
+    )
+    parser.add_argument(
         "--ddl",
         metavar="FILE",
         help="write the final schema's CREATE TABLE statements here",
@@ -605,6 +630,7 @@ def _main_apply_batch(argv: list[str], watch: bool) -> int:
 
     args = build_apply_batch_parser(watch=watch).parse_args(argv)
     _select_kernel(args.kernel)
+    _select_fdtree(args.fdtree)
     instances = [
         read_csv(
             path,

@@ -26,7 +26,17 @@ from repro.model.attributes import full_mask, iter_bits
 from repro.runtime.governor import checkpoint
 from repro.structures.fdtree import FDTree
 
-__all__ = ["apply_agree_set", "build_positive_cover", "specialize"]
+__all__ = [
+    "apply_agree_set",
+    "apply_agree_sets",
+    "build_positive_cover",
+    "specialize",
+]
+
+#: after this many FD removals since the last compaction, the tree is
+#: pruned — removal bursts leave tombstones and stale RHS
+#: over-approximations that inflate every later lattice sweep
+PRUNE_BURST = 64
 
 
 def build_positive_cover(
@@ -34,16 +44,49 @@ def build_positive_cover(
     agree_sets: Iterable[int],
     max_lhs_size: int | None = None,
 ) -> FDTree:
-    """Build the positive cover from scratch for the given negative cover.
-
-    Agree sets are applied largest-first, the paper's order: large agree
-    sets refute the most candidates per tree pass.
-    """
+    """Build the positive cover from scratch for the given negative cover."""
     tree = FDTree(num_attributes)
     tree.add(0, full_mask(num_attributes))
-    for agree in sorted(set(agree_sets), key=lambda mask: -mask.bit_count()):
-        apply_agree_set(tree, agree, max_lhs_size)
+    apply_agree_sets(tree, agree_sets, max_lhs_size)
     return tree
+
+
+def apply_agree_sets(
+    tree: FDTree, agree_sets: Iterable[int], max_lhs_size: int | None = None
+) -> int:
+    """Refine the positive cover with a batch of agree sets.
+
+    Agree sets are applied largest-first, the paper's order: large
+    agree sets refute the most candidates per tree pass.  The whole
+    batch is first screened against the current tree in one
+    ``any_violated_batch`` sweep; sets that violate nothing are skipped
+    outright.  That screen stays exact while the tree evolves: every
+    FD the non-skipped sets insert has an LHS extended *outside* its
+    agree set, so an agree set clean against the pre-batch tree can
+    never become violated by a later specialization (its cleanliness
+    already implied the new FD's RHS attribute lies inside it whenever
+    the new, larger LHS does).
+
+    Removal bursts are followed by :meth:`FDTree.prune` so tombstones
+    and stale union masks don't inflate the remaining sweeps.  Returns
+    the number of FDs removed.
+    """
+    ordered = sorted(set(agree_sets), key=lambda mask: -mask.bit_count())
+    if not ordered:
+        return 0
+    flags = tree.any_violated_batch(ordered)
+    removed = 0
+    removed_since_prune = 0
+    for agree, violates in zip(ordered, flags):
+        if not violates:
+            continue
+        count = apply_agree_set(tree, agree, max_lhs_size)
+        removed += count
+        removed_since_prune += count
+        if removed_since_prune >= PRUNE_BURST:
+            tree.prune()
+            removed_since_prune = 0
+    return removed
 
 
 def apply_agree_set(
@@ -79,8 +122,4 @@ def specialize(
     if max_lhs_size is not None and new_size > max_lhs_size:
         return
     candidates = full_mask(tree.num_attributes) & ~(agree_set | rhs_bit | lhs)
-    for extension in iter_bits(candidates):
-        new_lhs = lhs | (1 << extension)
-        if tree.contains_fd_or_generalization(new_lhs, rhs_attr):
-            continue
-        tree.add(new_lhs, rhs_bit)
+    tree.add_minimal_specializations(lhs, rhs_attr, candidates)

@@ -22,7 +22,7 @@ validation, so termination and exactness never depend on sampling.
 
 from __future__ import annotations
 
-from repro.discovery.hyfd.induction import apply_agree_set, specialize
+from repro.discovery.hyfd.induction import apply_agree_sets, specialize
 from repro.discovery.hyfd.sampler import Sampler
 from repro.model.attributes import iter_bits
 from repro.runtime.governor import checkpoint
@@ -68,8 +68,7 @@ def validate_tree(
                 fresh.extend(sampler.next_round())
                 if sampler.exhausted:
                     break
-            for agree in sorted(set(fresh), key=lambda mask: -mask.bit_count()):
-                apply_agree_set(tree, agree, max_lhs_size)
+            apply_agree_sets(tree, fresh, max_lhs_size)
             continue  # re-collect the same level
         level += 1
 

@@ -39,6 +39,7 @@ from repro.model.fd import FDSet
 from repro.model.instance import RelationInstance
 from repro.runtime.errors import BudgetExceeded
 from repro.runtime.governor import add_candidates, checkpoint
+from repro.structures.lattice_index import LevelIndex
 from repro.structures.partitions import StrippedPartition
 
 __all__ = ["Tane"]
@@ -221,7 +222,7 @@ class Tane(FDAlgorithm):
         codes: list,
         parallel=None,
     ) -> tuple[list[int], dict[int, StrippedPartition]]:
-        survivor_set = set(survivors)
+        survivor_index = LevelIndex(survivors)
         # Group by prefix (all attributes except the largest one).
         prefix_blocks: dict[int, list[int]] = {}
         for mask in survivors:
@@ -238,7 +239,7 @@ class Tane(FDAlgorithm):
                 # second's top attribute: π(first) · π({top}) = π(candidate),
                 # computed against the value-id vector (no probe fill/reset).
                 candidate = first | second
-                if _all_subsets_present(candidate, survivor_set):
+                if _all_subsets_present(candidate, survivor_index):
                     cands.append((first, second, candidate))
 
         next_level: list[int] = []
@@ -320,8 +321,13 @@ class Tane(FDAlgorithm):
                 next_level.append(candidate)
 
 
-def _all_subsets_present(candidate: int, survivor_set: set[int]) -> bool:
-    for attr in bits_of(candidate):
-        if candidate & ~(1 << attr) not in survivor_set:
-            return False
-    return True
+def _all_subsets_present(candidate: int, survivors: LevelIndex) -> bool:
+    """TANE's candidate-generation guard: every direct subset survived.
+
+    Routed through the level index's batched membership check (all the
+    subsets sit on one level, so the short-circuiting ``contains_all``
+    is one level-dict sweep).
+    """
+    return survivors.contains_all(
+        candidate & ~(1 << attr) for attr in bits_of(candidate)
+    )

@@ -176,9 +176,18 @@ class IncrementalCover:
 
         dirty_fds: set[tuple[int, int]] = set()
         dirty_uccs: set[int] = set()
-        for agree in sorted(agree_sets, key=lambda mask: -mask.bit_count()):
+        ordered = sorted(agree_sets, key=lambda mask: -mask.bit_count())
+        # One batched screen of the whole agree-set batch against the
+        # current FD cover: sets that violate nothing can be skipped for
+        # the FD side, and stay clean as the tree evolves (every later
+        # specialization's LHS extends outside its own agree set — see
+        # induction.apply_agree_sets).  The UCC side is maintained
+        # unconditionally: its antichain is a different structure.
+        flags = self._tree.any_violated_batch(ordered)
+        for agree, violates in zip(ordered, flags):
             checkpoint("incremental-induct")
-            self._apply_fd_agree(agree, dirty_fds)
+            if violates:
+                self._apply_fd_agree(agree, dirty_fds)
             self._apply_ucc_agree(agree, dirty_uccs)
 
         self._validate_dirty_fds(cache, dirty_fds, delta)
@@ -291,14 +300,9 @@ class IncrementalCover:
         agree: int,
         dirty: set[tuple[int, int]],
     ) -> None:
-        tree = self._tree
-        rhs_bit = 1 << rhs_attr
-        candidates = full_mask(self.arity) & ~(agree | rhs_bit | lhs)
-        for extension in iter_bits(candidates):
-            new_lhs = lhs | (1 << extension)
-            if tree.contains_fd_or_generalization(new_lhs, rhs_attr):
-                continue
-            tree.add(new_lhs, rhs_bit)
+        candidates = full_mask(self.arity) & ~(agree | (1 << rhs_attr) | lhs)
+        added = self._tree.add_minimal_specializations(lhs, rhs_attr, candidates)
+        for new_lhs in added:
             dirty.add((new_lhs, rhs_attr))
 
     def _apply_ucc_agree(self, agree: int, dirty: set[int] | None) -> None:

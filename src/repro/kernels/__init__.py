@@ -42,6 +42,7 @@ __all__ = [
     "BACKEND_CHOICES",
     "active",
     "backend_name",
+    "bump",
     "counters_delta",
     "counters_snapshot",
     "ensure_backend",
@@ -174,6 +175,18 @@ def record(kernel: str, rows: int) -> None:
     """Count one kernel dispatch processing ``rows`` row slots."""
     calls_key = f"kernel_{kernel}_calls"
     rows_key = f"kernel_{kernel}_rows"
+    _counters[calls_key] = _counters.get(calls_key, 0) + 1
+    _counters[rows_key] = _counters.get(rows_key, 0) + rows
+
+
+def bump(calls_key: str, rows_key: str, rows: int) -> None:
+    """Precomputed-key variant of :func:`record`.
+
+    The FD-tree lattice sweeps run millions of times per discovery;
+    building the two f-string keys per call would cost more than the
+    counter update itself, so those callers precompute the key pair
+    once at module scope and bump through this.
+    """
     _counters[calls_key] = _counters.get(calls_key, 0) + 1
     _counters[rows_key] = _counters.get(rows_key, 0) + rows
 

@@ -55,7 +55,11 @@ __all__ = [
     "from_value_ids",
     "intersect",
     "intersect_ids",
+    "lattice_any_violation",
+    "lattice_find_generalization",
+    "lattice_violations",
     "name",
+    "pack_masks",
     "refines_column",
 ]
 
@@ -355,3 +359,97 @@ def agree_one_to_many(
             acc |= agree << np.uint64(bit)
         words.append(acc)
     return _masks_from_words(words)
+
+
+# ----------------------------------------------------------------------
+# FD-tree lattice sweeps (repro.structures.fdtree)
+# ----------------------------------------------------------------------
+# The level-indexed FDTree maintains, per popcount level, uint64 mirror
+# arrays of shape ``(entries, words)`` in the agree-set bitset layout
+# (bit ``b`` of word ``w`` covers attribute ``64*w + b``).  These
+# kernels sweep one such level per call; there is no small-input
+# delegate here because the tree itself sweeps small levels with the
+# interpreted loops (``fdtree.SMALL_LEVEL_THRESHOLD``) — the query
+# masks would have to be packed per call either way.
+
+_ONE = np.uint64(1)
+_WORD_MASK = (1 << 64) - 1
+
+
+def pack_masks(masks: Sequence[int], words: int) -> np.ndarray:
+    """Pack Python-int attribute masks into ``(len(masks), words)`` uint64."""
+    count = len(masks)
+    out = np.zeros((count, words), dtype=np.uint64)
+    for word in range(words):
+        shift = 64 * word
+        out[:, word] = np.fromiter(
+            ((mask >> shift) & _WORD_MASK for mask in masks),
+            dtype=np.uint64,
+            count=count,
+        )
+    return out
+
+
+def lattice_find_generalization(
+    lhs_words: np.ndarray,
+    rhs_words: np.ndarray,
+    inv_query: np.ndarray,
+    rhs_attr: int,
+) -> bool:
+    """True iff some entry has ``lhs ⊆ query`` and bit ``rhs_attr`` set.
+
+    ``inv_query`` is the bitwise complement of the packed query mask;
+    bits at or above ``num_attributes`` are set in it, but stored LHS
+    rows never have them, so the subset test ``lhs & ~query == 0``
+    survives the complement's high garbage.
+    """
+    subset = ~(lhs_words & inv_query).any(axis=1)
+    hit = (rhs_words[:, rhs_attr >> 6] >> np.uint64(rhs_attr & 63)) & _ONE
+    return bool((subset & (hit != 0)).any())
+
+
+def lattice_violations(
+    lhs_words: np.ndarray,
+    rhs_words: np.ndarray,
+    inv_agree: np.ndarray,
+    disagree_words: np.ndarray,
+) -> list[int]:
+    """Positions with ``lhs ⊆ agree`` and ``rhs & disagree`` non-empty.
+
+    Ascending position order — identical to the interpreted sweep, so
+    the tree's violation output is backend-independent.
+    """
+    subset = ~(lhs_words & inv_agree).any(axis=1)
+    violated = (rhs_words & disagree_words).any(axis=1)
+    return np.flatnonzero(subset & violated).tolist()
+
+
+def lattice_any_violation(
+    lhs_words: np.ndarray,
+    rhs_words: np.ndarray,
+    inv_agree: np.ndarray,
+    disagree_words: np.ndarray,
+) -> bool:
+    """Screening form of :func:`lattice_violations`."""
+    subset = ~(lhs_words & inv_agree).any(axis=1)
+    violated = (rhs_words & disagree_words).any(axis=1)
+    return bool((subset & violated).any())
+
+
+def lattice_specialization_screen(
+    lhs_words: np.ndarray,
+    rhs_words: np.ndarray,
+    allowed_words: np.ndarray,
+    rhs_attr: int,
+) -> list[int]:
+    """Positions with ``lhs ⊆ allowed`` and bit ``rhs_attr`` set.
+
+    The batched minimal-specialization prefilter: ``allowed`` is the
+    base LHS unioned with every candidate extension bit, so any stored
+    generalization of any candidate passes; the caller applies the
+    exact empty-or-single-extension test to the surviving rows.
+    Ascending position order.
+    """
+    outside = (lhs_words & ~allowed_words).any(axis=1)
+    hit = (rhs_words[:, rhs_attr >> 6] >> np.uint64(rhs_attr & 63)) & _ONE
+    return np.flatnonzero(~outside & (hit != 0)).tolist()

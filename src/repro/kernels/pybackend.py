@@ -25,6 +25,9 @@ __all__ = [
     "from_value_ids",
     "intersect",
     "intersect_ids",
+    "lattice_any_violation",
+    "lattice_find_generalization",
+    "lattice_violations",
     "name",
     "refines_column",
     "reset_scratch",
@@ -247,3 +250,76 @@ def agree_one_to_many(
             bit <<= 1
         masks.append(agree)
     return masks
+
+
+# ----------------------------------------------------------------------
+# FD-tree lattice sweeps (repro.structures.fdtree)
+# ----------------------------------------------------------------------
+# Unlike the partition kernels above, the lattice kernel surface is
+# representation-specific: the level-indexed FDTree owns the per-level
+# entry arrays and hands them over directly.  Here they are plain
+# Python-int lists; the numpy backend sweeps the tree's uint64-packed
+# mirrors instead.  These loops are the normative oracle for the
+# vectorized sweeps (tests/test_fdtree_differential.py).
+
+
+def lattice_find_generalization(
+    lhs_rows: Sequence[int],
+    rhs_rows: Sequence[int],
+    lhs: int,
+    rhs_bit: int,
+) -> bool:
+    """True iff some entry has ``lhs_rows[i] ⊆ lhs`` and ``rhs & rhs_bit``."""
+    outside = ~lhs
+    for stored, rhs in zip(lhs_rows, rhs_rows):
+        if rhs & rhs_bit and stored & outside == 0:
+            return True
+    return False
+
+
+def lattice_violations(
+    lhs_rows: Sequence[int],
+    rhs_rows: Sequence[int],
+    agree_set: int,
+    disagree: int,
+) -> list[int]:
+    """Positions with ``lhs_rows[i] ⊆ agree_set`` and ``rhs & disagree``."""
+    outside = ~agree_set
+    out = []
+    for pos, stored in enumerate(lhs_rows):
+        if rhs_rows[pos] & disagree and stored & outside == 0:
+            out.append(pos)
+    return out
+
+
+def lattice_specialization_screen(
+    lhs_rows: Sequence[int],
+    rhs_rows: Sequence[int],
+    allowed: int,
+    rhs_bit: int,
+) -> list[int]:
+    """Positions with ``lhs_rows[i] ⊆ allowed`` and ``rhs & rhs_bit``.
+
+    Oracle for the batched minimal-specialization prefilter; see the
+    numpy twin for the screening contract.
+    """
+    outside = ~allowed
+    return [
+        pos
+        for pos, stored in enumerate(lhs_rows)
+        if rhs_rows[pos] & rhs_bit and stored & outside == 0
+    ]
+
+
+def lattice_any_violation(
+    lhs_rows: Sequence[int],
+    rhs_rows: Sequence[int],
+    agree_set: int,
+    disagree: int,
+) -> bool:
+    """Early-exit form of :func:`lattice_violations`."""
+    outside = ~agree_set
+    for stored, rhs in zip(lhs_rows, rhs_rows):
+        if rhs & disagree and stored & outside == 0:
+            return True
+    return False

@@ -238,26 +238,32 @@ def _budget_from_snapshot(snapshot: dict | None, cancel_event) -> _WorkerGoverno
 
 
 def _worker_main(tasks_queue, results_queue, cancel_event, epoch_value) -> None:
-    """Worker loop: pull ``(epoch, index, kind, payload, budget, kernel)``.
+    """Worker loop: pull ``(epoch, index, kind, payload, budget, kernel,
+    fdtree_engine)``.
 
     ``kernel`` is the parent's *resolved* kernel backend name; pinning
     it per task keeps spawned (non-fork) workers from re-resolving
     ``auto`` differently from the parent, so shard results stay
     byte-identical to serial runs under either backend.
+    ``fdtree_engine`` is pinned the same way — any FD-tree a task
+    handler builds must use the parent's engine, not the worker
+    environment's default.
     """
     _reset_worker_state()
     from repro import kernels
     from repro.parallel.tasks import TASK_HANDLERS, worker_attach_seconds
+    from repro.structures import fdtree
 
     while True:
         item = tasks_queue.get()
         if item is None:
             break
-        epoch, index, kind, payload, budget_snapshot, kernel = item
+        epoch, index, kind, payload, budget_snapshot, kernel, engine = item
         if epoch < epoch_value.value or cancel_event.is_set():
             results_queue.put((epoch, index, "cancelled", None))
             continue
         kernels.ensure_backend(kernel)
+        fdtree.ensure_engine(engine)
         governor = _budget_from_snapshot(budget_snapshot, cancel_event)
         attach_before = worker_attach_seconds()
         try:
@@ -411,11 +417,15 @@ class WorkerPool:
         self._drain_stale()
 
         from repro import kernels
+        from repro.structures import fdtree
 
         snapshot = _governor_snapshot(current_governor())
         kernel = kernels.backend_name()
+        engine = fdtree.engine_name()
         for index, payload in enumerate(payloads):
-            self._tasks.put((epoch, index, kind, payload, snapshot, kernel))
+            self._tasks.put(
+                (epoch, index, kind, payload, snapshot, kernel, engine)
+            )
         self.stats.batches += 1
         self.stats.tasks_dispatched += len(payloads)
         self.stats.largest_shard = max(self.stats.largest_shard, len(payloads))

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro import kernels
+from repro.structures import fdtree
 from repro.discovery.base import FDAlgorithm, resolve_fd_algorithm
 from repro.discovery.ind import IND, discover_unary_inds
 from repro.discovery.ucc import resolve_ucc_algorithm
@@ -168,6 +169,7 @@ def profile(
     _collect_cache_counters(counters, "ucc_", ucc)
 
     counters["kernel_backend"] = kernels.backend_name()
+    counters["fdtree_engine"] = fdtree.engine_name()
     counters.update(kernels.counters_delta(kernel_mark))
 
     return DataProfile(

@@ -561,6 +561,14 @@ def build_verify_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_KERNEL or auto); the campaign's oracles and "
         "subjects all run under the selected backend",
     )
+    parser.add_argument(
+        "--fdtree",
+        default=None,
+        choices=("level", "legacy"),
+        help="FD-tree lattice engine (default: $REPRO_FDTREE or level); "
+        "the campaign's oracles and subjects all run under the selected "
+        "engine",
+    )
     return parser
 
 
@@ -573,6 +581,15 @@ def main_verify(argv: Sequence[str] | None = None) -> int:
         try:
             kernels.set_backend(args.kernel)
             kernels.backend_name()  # resolve eagerly; fail at the boundary
+        except InputError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.fdtree is not None:
+        from repro.runtime.errors import InputError
+        from repro.structures import fdtree
+
+        try:
+            fdtree.set_engine(args.fdtree)
         except InputError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -1,6 +1,21 @@
-"""Unit tests for the FD prefix tree (HyFD's positive cover)."""
+"""Unit tests for the FD prefix tree (HyFD's positive cover).
 
+Every test runs under both engines (the level-indexed lattice and the
+recursive legacy trie) via the autouse fixture; the deeper
+cross-engine equivalence lives in ``test_fdtree_differential.py``.
+"""
+
+import pytest
+
+from repro.structures import fdtree
 from repro.structures.fdtree import FDTree
+
+
+@pytest.fixture(autouse=True, params=["level", "legacy"])
+def engine(request):
+    fdtree.set_engine(request.param)
+    yield request.param
+    fdtree.set_engine(None)
 
 
 class TestAddRemove:
@@ -119,3 +134,59 @@ class TestIteration:
         tree.add(0b001, 0b110)
         tree.remove(0b001, 0b110)
         assert list(tree.iter_all()) == []
+
+    def test_iter_all_is_path_ordered(self):
+        tree = FDTree(4)
+        tree.add(0b0110, 0b0001)  # {B,C}
+        tree.add(0b0010, 0b0001)  # {B}
+        tree.add(0b1001, 0b0010)  # {A,D}
+        tree.add(0b0001, 0b0010)  # {A}
+        # Ascending attribute-path order: a prefix sorts before its
+        # extensions, independent of insertion order or level.
+        assert [lhs for lhs, _ in tree.iter_all()] == [
+            0b0001,  # (0,)
+            0b1001,  # (0, 3)
+            0b0010,  # (1,)
+            0b0110,  # (1, 2)
+        ]
+
+
+class TestBatchEntryPoints:
+    def test_contains_generalization_batch(self):
+        tree = FDTree(4)
+        tree.add(0b0001, 0b0100)
+        pairs = [(0b0011, 2), (0b0011, 3), (0b0010, 2)]
+        assert tree.contains_generalization_batch(pairs) == [
+            True, False, False,
+        ]
+
+    def test_collect_violated_batch(self):
+        tree = FDTree(3)
+        tree.add(0b001, 0b100)
+        assert tree.collect_violated_batch([0b011, 0b101]) == [
+            [(0b001, 0b100)], [],
+        ]
+
+    def test_any_violated_batch(self):
+        tree = FDTree(3)
+        tree.add(0b001, 0b100)
+        assert tree.any_violated_batch([0b011, 0b101, 0b111]) == [
+            True, False, False,
+        ]
+
+    def test_add_minimal_specializations(self):
+        tree = FDTree(4)
+        tree.add(0b0001, 0b0100)  # {A} -> C already generalizes {A,D} -> C
+        added = tree.add_minimal_specializations(0b1000, 2, 0b0011)
+        assert added == [0b1010]  # {B,D} added; {A,D} screened out
+        assert tree.contains_fd(0b1010, 2)
+        assert not tree.contains_fd(0b1001, 2)
+
+    def test_prune_preserves_content(self):
+        tree = FDTree(4)
+        tree.add(0b0011, 0b1100)
+        tree.add(0b0100, 0b0001)
+        tree.remove(0b0011, 0b1100)
+        tree.prune()
+        assert dict(tree.iter_all()) == {0b0100: 0b0001}
+        assert tree.depth() == 1

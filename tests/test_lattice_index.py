@@ -1,0 +1,96 @@
+"""LevelIndex: differential tests against the SetTrie it replaced.
+
+:class:`~repro.structures.lattice_index.LevelIndex` took over the
+boundary-set bookkeeping in DFD/DUCC (``discovery/lattice.py``) and the
+TANE candidate-generation guard from :class:`SetTrie`; this suite pins
+the shared surface to the trie behaviour property-by-property and
+covers the batch entry points the trie never had.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.structures.lattice_index import LevelIndex
+from repro.structures.settrie import SetTrie
+
+masks = st.integers(min_value=0, max_value=2**10 - 1)
+mask_lists = st.lists(masks, max_size=25)
+
+
+class TestBasics:
+    def test_insert_contains_remove(self):
+        index = LevelIndex()
+        assert index.insert(0b0101)
+        assert not index.insert(0b0101)  # duplicate
+        assert 0b0101 in index
+        assert 0b0100 not in index
+        assert len(index) == 1 and bool(index)
+        assert index.remove(0b0101)
+        assert not index.remove(0b0101)
+        assert not index
+
+    def test_constructor_seeds_and_dedups(self):
+        index = LevelIndex([0b11, 0b1, 0b11])
+        assert len(index) == 2
+        assert sorted(index.iter_all()) == [0b1, 0b11]
+
+    def test_empty_set_membership(self):
+        index = LevelIndex()
+        index.insert(0)
+        assert 0 in index
+        assert index.contains_subset_of(0b111)
+        assert index.contains_subset_of(0)
+        assert not index.contains_proper_subset_of(0)
+
+    def test_contains_batch_and_all(self):
+        index = LevelIndex([0b01, 0b10])
+        assert index.contains_batch([0b01, 0b11, 0b10]) == [
+            True, False, True,
+        ]
+        assert index.contains_all([0b01, 0b10])
+        assert not index.contains_all([0b01, 0b11])
+        assert index.contains_all([])
+
+
+class TestAgainstSetTrie:
+    @given(mask_lists, masks)
+    def test_subset_queries_match(self, stored, query):
+        trie, index = SetTrie(), LevelIndex(stored)
+        for mask in stored:
+            trie.insert(mask)
+        assert index.contains_subset_of(query) == (
+            trie.contains_subset_of(query)
+        )
+        assert index.contains_proper_subset_of(query) == (
+            trie.contains_proper_subset_of(query)
+        )
+        assert list(index.iter_subsets_of(query)) == list(
+            trie.iter_subsets_of(query)
+        )
+
+    @given(mask_lists, masks)
+    def test_superset_and_membership_match(self, stored, query):
+        trie, index = SetTrie(), LevelIndex(stored)
+        for mask in stored:
+            trie.insert(mask)
+        assert index.contains_superset_of(query) == (
+            trie.contains_superset_of(query)
+        )
+        assert (query in index) == (query in trie)
+
+    @given(mask_lists)
+    def test_iter_all_order_matches(self, stored):
+        trie, index = SetTrie(), LevelIndex(stored)
+        for mask in stored:
+            trie.insert(mask)
+        assert list(index.iter_all()) == list(trie.iter_all())
+
+    @given(mask_lists, mask_lists)
+    def test_remove_leaves_consistent_state(self, stored, removed):
+        trie, index = SetTrie(), LevelIndex(stored)
+        for mask in stored:
+            trie.insert(mask)
+        for mask in removed:
+            assert index.remove(mask) == trie.remove(mask)
+        assert list(index.iter_all()) == list(trie.iter_all())
+        assert len(index) == len(trie)

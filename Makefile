@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: verify verify-parallel verify-kernels verify-lattice fuzz fuzz-faults fuzz-incremental fuzz-kernels fuzz-lattice bench bench-engine bench-fdtree bench-incremental bench-parallel bench-kernels
+.PHONY: verify verify-parallel verify-kernels verify-lattice fuzz fuzz-faults fuzz-chaos fuzz-incremental fuzz-kernels fuzz-lattice bench bench-engine bench-fdtree bench-incremental bench-parallel bench-kernels
 
 # Tier-1 suite — the gate every change must keep green (see ROADMAP.md).
 verify:
@@ -35,6 +35,13 @@ fuzz:
 # robustness contract (docs/ROBUSTNESS.md).
 fuzz-faults:
 	PYTHONPATH=src $(PYTHON) -m repro verify --faults --seeds 25
+
+# Worker-fault chaos campaign: real SIGKILL/exit/hang faults inside
+# pool workers mid-shard; the self-healing pool must recover every
+# seed with DDL byte-identical to the serial reference
+# (docs/PARALLEL.md, failure-modes matrix).
+fuzz-chaos:
+	REPRO_WORKERS=2 PYTHONPATH=src $(PYTHON) -m repro verify --faults --seeds 25 --workers 2
 
 # Incremental-differential campaign: seeded batch streams against the
 # incremental engine, asserting byte-identical covers/keys/DDL vs

@@ -27,6 +27,7 @@ Two subcommands host the incremental engine (``docs/INCREMENTAL.md``)::
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from pathlib import Path
 
@@ -36,17 +37,58 @@ from repro.core.selection import AutoDecider, CallbackDecider
 from repro.io.csv_io import read_csv, write_csv
 from repro.io.ddl import schema_to_ddl
 from repro.model.instance import RelationInstance
-from repro.runtime.errors import BudgetExceeded, CheckpointError, InputError
+from repro.runtime.errors import (
+    BudgetExceeded,
+    CheckpointError,
+    InputError,
+    WorkerCrashError,
+)
 from repro.runtime.governor import Budget, parse_duration, parse_memory
 
 __all__ = ["build_parser", "main"]
 
 #: structured exit codes of the CLI boundary (documented in
 #: docs/ROBUSTNESS.md): bad input data/arguments, a propagated budget
-#: breach (only with --no-degrade), and a checkpoint defect.
+#: breach (only with --no-degrade), a checkpoint defect, an unrecovered
+#: worker crash (strict pool mode), and the conventional signal codes
+#: (128 + SIGINT/SIGTERM) after a graceful teardown.
 EXIT_INPUT_ERROR = 2
 EXIT_BUDGET_EXCEEDED = 3
 EXIT_CHECKPOINT_ERROR = 4
+EXIT_WORKER_CRASH = 5
+EXIT_INTERRUPTED = 130
+EXIT_TERMINATED = 143
+
+
+class _Terminated(BaseException):
+    """Raised by the SIGTERM handler so ``finally`` blocks run.
+
+    A ``BaseException`` (like ``KeyboardInterrupt``) so no library-level
+    ``except Exception`` can swallow the shutdown on its way to the CLI
+    boundary.
+    """
+
+
+def _graceful_shutdown() -> None:
+    """Best-effort teardown on a signal: pool down, shm unlinked.
+
+    Checkpoint journals need no flushing here — every write is already
+    atomic (tmp + rename), so an interrupt can only lose the in-flight
+    step, never corrupt the journal.  What a signal *can* strand is the
+    worker pool and its shared-memory segments; release both.
+    """
+    try:
+        from repro.parallel import shutdown_pool
+
+        shutdown_pool()
+    except Exception:  # pragma: no cover - teardown best effort
+        pass
+    try:
+        from repro.parallel import release_owned_segments
+
+        release_owned_segments()
+    except Exception:  # pragma: no cover - teardown best effort
+        pass
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -273,18 +315,31 @@ def main(argv: list[str] | None = None) -> int:
     """Console entry point with the structured error boundary.
 
     Deliberate failures map to stable exit codes instead of tracebacks:
-    bad input → 2, propagated budget breach → 3, checkpoint defect → 4.
-    Anything else escaping is a genuine bug and keeps its traceback.
+    bad input → 2, propagated budget breach → 3, checkpoint defect → 4,
+    unrecovered worker crash → 5.  SIGINT and SIGTERM tear the worker
+    pool and shared memory down before exiting 130/143 (128 + signal),
+    so an interrupted run never strands ``/dev/shm`` segments or
+    orphaned workers.  Anything else escaping is a genuine bug and
+    keeps its traceback.
     """
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "verify":
-        # The verification harness rides on the same console entry point
-        # (`repro verify --seeds N`); everything else is normalization.
-        from repro.verification.runner import main_verify
 
-        return main_verify(argv[1:])
+    def _on_sigterm(signum, frame):
+        raise _Terminated()
+
+    previous_sigterm = None
     try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+    try:
+        if argv and argv[0] == "verify":
+            # The verification harness rides on the same console entry
+            # point (`repro verify --seeds N`); the rest is normalization.
+            from repro.verification.runner import main_verify
+
+            return main_verify(argv[1:])
         if argv and argv[0] == "apply-batch":
             return _main_apply_batch(argv[1:], watch=False)
         if argv and argv[0] == "watch":
@@ -296,9 +351,26 @@ def main(argv: list[str] | None = None) -> int:
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_CHECKPOINT_ERROR
+    except WorkerCrashError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_WORKER_CRASH
     except InputError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_INPUT_ERROR
+    except KeyboardInterrupt:
+        _graceful_shutdown()
+        print("\ninterrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except _Terminated:
+        _graceful_shutdown()
+        print("terminated", file=sys.stderr)
+        return EXIT_TERMINATED
+    finally:
+        if previous_sigterm is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_sigterm)
+            except ValueError:  # pragma: no cover - not the main thread
+                pass
 
 
 def _select_kernel(name: str | None) -> None:
@@ -694,17 +766,16 @@ def _main_apply_batch(argv: list[str], watch: bool) -> int:
         return applied
 
     if watch:
+        # SIGINT/SIGTERM propagate to the main() boundary, which tears
+        # down the pool and shared memory and exits 130/143.
         limit = args.max_batches
-        try:
-            while True:
-                apply_pending()
-                if args.once:
-                    break
-                if limit is not None and engine.applied_batches >= limit:
-                    break
-                _time.sleep(args.interval)
-        except KeyboardInterrupt:
-            print("\nstopped")
+        while True:
+            apply_pending()
+            if args.once:
+                break
+            if limit is not None and engine.applied_batches >= limit:
+                break
+            _time.sleep(args.interval)
     else:
         apply_pending()
 

@@ -12,6 +12,10 @@ DESIGN.md §3):
 * :mod:`repro.parallel.pool` — a persistent process pool with budget
   propagation, cooperative cancellation, and order-preserving batch
   dispatch,
+* :mod:`repro.parallel.supervisor` — worker supervision: heartbeats,
+  death/hang detection, respawn with backoff; together with the pool's
+  retry/quarantine logic this makes the layer self-healing (a crashed,
+  OOM-killed, or hung worker costs a retry, not the run),
 * :mod:`repro.parallel.tasks` — the worker-side handlers for the hot
   paths (closure shards, HyFD validation and sampling, TANE level
   generation, decomposition fan-out, verification campaigns).
@@ -32,6 +36,7 @@ from __future__ import annotations
 from repro.parallel.pool import (
     MAX_WORKERS,
     PoolStats,
+    WorkerCrashError,
     WorkerError,
     WorkerPool,
     get_pool,
@@ -45,7 +50,10 @@ from repro.parallel.shm import (
     ShmHandle,
     attach_encoding,
     export_encoding,
+    reap_orphan_segments,
+    release_owned_segments,
 )
+from repro.parallel.supervisor import WorkerSupervisor
 
 __all__ = [
     "MAX_WORKERS",
@@ -53,12 +61,16 @@ __all__ = [
     "RelationRun",
     "SharedRelation",
     "ShmHandle",
+    "WorkerCrashError",
     "WorkerError",
     "WorkerPool",
+    "WorkerSupervisor",
     "attach_encoding",
     "export_encoding",
     "get_pool",
     "pool_stats",
+    "reap_orphan_segments",
+    "release_owned_segments",
     "resolve_workers",
     "should_parallelize",
     "shutdown_pool",

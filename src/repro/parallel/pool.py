@@ -27,6 +27,17 @@ Design points, each load-bearing:
   injected faults (``FaultPlan`` kills), still fire *mid-shard*; an
   epoch counter lets the pool discard the orphaned batch afterwards and
   stay usable for the resumed run.
+* **Self-healing under worker failure** — every task is assigned to a
+  specific worker through its private queue (so a death names the lost
+  shard), the wait loop's bounded gets interleave supervision passes
+  (``Process.exitcode`` + heartbeat checks, see
+  :mod:`repro.parallel.supervisor`), dead workers are respawned and
+  their shard retried, payloads that kill :data:`supervisor_mod.TASK_DEATH_LIMIT`
+  workers are quarantined onto the in-process serial path, and
+  repeated respawn failure disables the pool for the rest of the run
+  (serial fallback, recorded in :class:`PoolStats`).  All of this is
+  invisible to results: handlers are pure functions of their payloads,
+  so a retried or quarantined shard merges byte-identically.
 * **Fork hygiene** — workers reset inherited process state on start
   (ambient governor, the partition probe buffer, any shared-memory
   attachments) via :func:`_reset_worker_state`; nested pools are
@@ -38,10 +49,20 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import pickle
+import time
 import traceback
+from collections import deque
 from dataclasses import dataclass
 
-from repro.runtime.errors import BudgetExceeded, InputError
+from repro.parallel import supervisor as supervisor_mod
+from repro.parallel.supervisor import WorkerSupervisor
+from repro.runtime.errors import (
+    BudgetExceeded,
+    InputError,
+    ReproError,
+    WorkerCrashError,
+)
 from repro.runtime.governor import (
     Budget,
     Governor,
@@ -53,6 +74,7 @@ from repro.runtime.governor import (
 
 __all__ = [
     "PoolStats",
+    "WorkerCrashError",
     "WorkerError",
     "WorkerPool",
     "get_pool",
@@ -73,11 +95,56 @@ _IN_WORKER = False  # set in forked/spawned children; forbids nesting
 
 
 class WorkerError(RuntimeError):
-    """A task raised an unexpected exception inside a worker."""
+    """A task raised an unexpected exception inside a worker.
+
+    ``remote_traceback`` carries the worker-side formatted traceback;
+    it is also chained as ``__cause__`` (via :class:`_RemoteTraceback`)
+    so the parent's traceback display shows the real failing frame
+    instead of the queue plumbing.
+    """
+
+    def __init__(self, message: str, remote_traceback: str | None = None) -> None:
+        self.remote_traceback = remote_traceback
+        super().__init__(message)
+
+
+class _RemoteTraceback(Exception):
+    """Carrier for a worker's traceback text, used as ``__cause__``."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        super().__init__(text)
+
+    def __str__(self) -> str:
+        return f"\n\"\"\"\n{self.text}\"\"\""
 
 
 class _Cancelled(Exception):
     """Internal: the batch was cancelled while this task ran."""
+
+
+class _RawFlag:
+    """A lock-free cross-process boolean (single writer: the parent).
+
+    Deliberately *not* a ``multiprocessing.Event``: every Event/Value
+    accessor takes a cross-process lock, and a worker SIGKILLed inside
+    that window would strand the lock for the whole process family.
+    A raw shared int has no such window — workers only ever read it.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, ctx) -> None:
+        self._value = ctx.Value("i", 0, lock=False)
+
+    def set(self) -> None:
+        self._value.value = 1
+
+    def clear(self) -> None:
+        self._value.value = 0
+
+    def is_set(self) -> bool:
+        return bool(self._value.value)
 
 
 def resolve_workers(explicit: int | None = None) -> int:
@@ -132,6 +199,14 @@ class PoolStats:
     export_seconds: float = 0.0
     largest_shard: int = 0
     shard_items: int = 0
+    #: supervision counters (docs/PARALLEL.md failure-modes matrix)
+    respawns: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    heartbeat_misses: int = 0
+    in_process_tasks: int = 0
+    worker_faults_fired: int = 0
+    pool_disabled: int = 0  # 0/1: the pool gave up and went serial
 
     def copy(self) -> "PoolStats":
         return PoolStats(
@@ -144,6 +219,13 @@ class PoolStats:
             export_seconds=self.export_seconds,
             largest_shard=self.largest_shard,
             shard_items=self.shard_items,
+            respawns=self.respawns,
+            retries=self.retries,
+            quarantined=self.quarantined,
+            heartbeat_misses=self.heartbeat_misses,
+            in_process_tasks=self.in_process_tasks,
+            worker_faults_fired=self.worker_faults_fired,
+            pool_disabled=self.pool_disabled,
         )
 
     def delta_since(self, mark: "PoolStats") -> "PoolStats":
@@ -157,6 +239,13 @@ class PoolStats:
             export_seconds=self.export_seconds - mark.export_seconds,
             largest_shard=self.largest_shard,
             shard_items=self.shard_items - mark.shard_items,
+            respawns=self.respawns - mark.respawns,
+            retries=self.retries - mark.retries,
+            quarantined=self.quarantined - mark.quarantined,
+            heartbeat_misses=self.heartbeat_misses - mark.heartbeat_misses,
+            in_process_tasks=self.in_process_tasks - mark.in_process_tasks,
+            worker_faults_fired=self.worker_faults_fired,
+            pool_disabled=self.pool_disabled,
         )
 
     def as_dict(self) -> dict[str, int]:
@@ -171,6 +260,13 @@ class PoolStats:
             "pool_export_us": int(self.export_seconds * 1e6),
             "pool_largest_shard": self.largest_shard,
             "pool_shard_items": self.shard_items,
+            "pool_respawns": self.respawns,
+            "pool_retries": self.retries,
+            "pool_quarantined": self.quarantined,
+            "pool_heartbeat_misses": self.heartbeat_misses,
+            "pool_in_process_tasks": self.in_process_tasks,
+            "pool_worker_faults": self.worker_faults_fired,
+            "pool_disabled": self.pool_disabled,
         }
 
 
@@ -178,15 +274,22 @@ class PoolStats:
 # Worker side
 # ----------------------------------------------------------------------
 class _WorkerGovernor(Governor):
-    """A worker's governor: the propagated budget plus the cancel event."""
+    """A worker's governor: the propagated budget, the cancel event, and
+    the heartbeat slot this worker stamps at every probe."""
 
-    __slots__ = ("cancel_event",)
+    __slots__ = ("cancel_event", "heartbeats", "worker_slot")
 
-    def __init__(self, budget: Budget, cancel_event) -> None:
+    def __init__(
+        self, budget: Budget, cancel_event, heartbeats=None, worker_slot: int = 0
+    ) -> None:
         super().__init__(budget)
         self.cancel_event = cancel_event
+        self.heartbeats = heartbeats
+        self.worker_slot = worker_slot
 
     def _probe(self, stage: str) -> None:
+        if self.heartbeats is not None:
+            self.heartbeats[self.worker_slot] = time.monotonic()
         if self.cancel_event is not None and self.cancel_event.is_set():
             raise _Cancelled(stage)
         super()._probe(stage)
@@ -224,7 +327,9 @@ def _reset_worker_state() -> None:
     tasks_module.reset_worker_caches()
 
 
-def _budget_from_snapshot(snapshot: dict | None, cancel_event) -> _WorkerGovernor:
+def _budget_from_snapshot(
+    snapshot: dict | None, cancel_event, heartbeats=None, worker_slot: int = 0
+) -> _WorkerGovernor:
     if snapshot is None:
         budget = Budget()
     else:
@@ -234,12 +339,69 @@ def _budget_from_snapshot(snapshot: dict | None, cancel_event) -> _WorkerGoverno
             max_memory_bytes=snapshot.get("max_memory_bytes"),
             check_interval=snapshot.get("check_interval", 256),
         )
-    return _WorkerGovernor(budget, cancel_event)
+    return _WorkerGovernor(budget, cancel_event, heartbeats, worker_slot)
 
 
-def _worker_main(tasks_queue, results_queue, cancel_event, epoch_value) -> None:
+def _describe_remote_error(exc: BaseException) -> dict:
+    """Picklable description of a worker exception.
+
+    The formatted traceback always travels (chained into the parent's
+    raise so error reports show the real failing frame); taxonomy
+    errors additionally travel pickled so the parent can re-raise the
+    *original* type and the CLI exit codes stay truthful.
+    """
+    info = {
+        "type": type(exc).__name__,
+        "traceback": traceback.format_exc(),
+        "pickled": None,
+    }
+    if isinstance(exc, ReproError):
+        try:
+            info["pickled"] = pickle.dumps(exc)
+        except Exception:  # pragma: no cover - unpicklable payload attrs
+            pass
+    return info
+
+
+def _worker_fault_plan(fault: dict, fault_flag):
+    """Rebuild the parent's worker-level fault plan inside a worker."""
+    from repro.runtime.faults import FaultPlan
+
+    plan = FaultPlan(
+        mode=fault["mode"], at_tick=fault["at_tick"], stage=fault.get("stage")
+    )
+    plan.shared_flag = fault_flag
+    return plan
+
+
+def _post_result(writer, message: tuple) -> None:
+    """Frame and send one result tuple; never lose the shard to pickle.
+
+    An unpicklable task value is downgraded to an ``"error"`` message
+    (with the pickle failure's traceback) instead of crashing the
+    worker — the parent then raises a proper :class:`WorkerError`
+    rather than retrying a payload that can never report back.
+    """
+    try:
+        payload = pickle.dumps(message)
+    except Exception as exc:
+        payload = pickle.dumps(
+            (message[0], message[1], message[2], "error", _describe_remote_error(exc))
+        )
+    supervisor_mod.write_frame(writer, payload)
+
+
+def _worker_main(
+    worker_id,
+    tasks_queue,
+    result_writer,
+    cancel_flag,
+    epoch_value,
+    heartbeats,
+    fault_flag,
+) -> None:
     """Worker loop: pull ``(epoch, index, kind, payload, budget, kernel,
-    fdtree_engine)``.
+    fdtree_engine, fault)`` from this worker's private queue.
 
     ``kernel`` is the parent's *resolved* kernel backend name; pinning
     it per task keeps spawned (non-fork) workers from re-resolving
@@ -247,7 +409,14 @@ def _worker_main(tasks_queue, results_queue, cancel_event, epoch_value) -> None:
     byte-identical to serial runs under either backend.
     ``fdtree_engine`` is pinned the same way — any FD-tree a task
     handler builds must use the parent's engine, not the worker
-    environment's default.
+    environment's default.  ``fault`` is the optional worker-level
+    fault descriptor (mode/at_tick/stage); it is armed with the shared
+    once-only flag so exactly one worker per plan actually misbehaves.
+
+    Results go back as ``(worker_id, epoch, index, status, value)``
+    frames over this worker's private result pipe; the heartbeat slot
+    is stamped at task start and end (the governor stamps it mid-task
+    at every probe).
     """
     _reset_worker_state()
     from repro import kernels
@@ -258,19 +427,26 @@ def _worker_main(tasks_queue, results_queue, cancel_event, epoch_value) -> None:
         item = tasks_queue.get()
         if item is None:
             break
-        epoch, index, kind, payload, budget_snapshot, kernel, engine = item
-        if epoch < epoch_value.value or cancel_event.is_set():
-            results_queue.put((epoch, index, "cancelled", None))
+        epoch, index, kind, payload, budget_snapshot, kernel, engine, fault = item
+        heartbeats[worker_id] = time.monotonic()
+        if epoch < epoch_value.value or cancel_flag.is_set():
+            _post_result(result_writer, (worker_id, epoch, index, "cancelled", None))
             continue
         kernels.ensure_backend(kernel)
         fdtree.ensure_engine(engine)
-        governor = _budget_from_snapshot(budget_snapshot, cancel_event)
+        governor = _budget_from_snapshot(
+            budget_snapshot, cancel_flag, heartbeats, worker_id
+        )
+        if fault is not None:
+            governor.fault_plan = _worker_fault_plan(fault, fault_flag)
         attach_before = worker_attach_seconds()
         try:
             with activate(governor):
                 value = TASK_HANDLERS[kind](payload)
-            results_queue.put(
+            _post_result(
+                result_writer,
                 (
+                    worker_id,
                     epoch,
                     index,
                     "ok",
@@ -280,11 +456,13 @@ def _worker_main(tasks_queue, results_queue, cancel_event, epoch_value) -> None:
                         governor.candidates,
                         worker_attach_seconds() - attach_before,
                     ),
-                )
+                ),
             )
         except BudgetExceeded as exc:
-            results_queue.put(
+            _post_result(
+                result_writer,
                 (
+                    worker_id,
                     epoch,
                     index,
                     "budget",
@@ -294,12 +472,16 @@ def _worker_main(tasks_queue, results_queue, cancel_event, epoch_value) -> None:
                         "limit": exc.limit,
                         "observed": exc.observed,
                     },
-                )
+                ),
             )
         except _Cancelled:
-            results_queue.put((epoch, index, "cancelled", None))
-        except Exception:
-            results_queue.put((epoch, index, "error", traceback.format_exc()))
+            _post_result(result_writer, (worker_id, epoch, index, "cancelled", None))
+        except Exception as exc:
+            _post_result(
+                result_writer,
+                (worker_id, epoch, index, "error", _describe_remote_error(exc)),
+            )
+        heartbeats[worker_id] = time.monotonic()
     from repro.parallel.tasks import reset_worker_caches
 
     reset_worker_caches()  # close shared-memory attachments
@@ -308,10 +490,50 @@ def _worker_main(tasks_queue, results_queue, cancel_event, epoch_value) -> None:
 # ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
+class _BatchState:
+    """Parent-side bookkeeping of one in-flight batch."""
+
+    __slots__ = (
+        "kind",
+        "payloads",
+        "results",
+        "done",
+        "deaths",
+        "queued",
+        "pending",
+        "breach",
+        "error",
+        "ticks",
+        "candidates",
+    )
+
+    def __init__(self, kind: str, payloads: list) -> None:
+        self.kind = kind
+        self.payloads = payloads
+        self.results: list = [None] * len(payloads)
+        self.done = [False] * len(payloads)
+        self.deaths = [0] * len(payloads)  # workers killed per payload
+        self.queued = deque(range(len(payloads)))
+        self.pending = len(payloads)
+        self.breach: dict | None = None
+        self.error: dict | None = None
+        self.ticks = 0
+        self.candidates = 0
+
+    def finish(self, index: int) -> None:
+        self.done[index] = True
+        self.pending -= 1
+
+
 class WorkerPool:
     """A fixed-size persistent pool dispatching named task batches."""
 
-    def __init__(self, workers: int, start_method: str | None = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        start_method: str | None = None,
+        strict: bool | None = None,
+    ) -> None:
         if workers < 1:
             raise InputError("worker count must be >= 1")
         if _IN_WORKER:
@@ -322,16 +544,30 @@ class WorkerPool:
                 if "fork" in multiprocessing.get_all_start_methods()
                 else "spawn"
             )
+        if strict is None:
+            strict = os.environ.get("REPRO_POOL_STRICT", "").strip() in (
+                "1",
+                "true",
+                "yes",
+            )
         self.workers = workers
+        self.strict = strict
         self.stats = PoolStats(workers=workers)
         self._ctx = multiprocessing.get_context(start_method)
-        self._tasks = None
-        self._results = None
+        self._supervisor: WorkerSupervisor | None = None
         self._cancel = None
         self._epoch_value = None
-        self._procs: list = []
+        self._fault_flag = None
         self._epoch = 0
         self._closed = False
+        self._disabled = False
+
+    @property
+    def _procs(self) -> list:
+        """The live worker processes (kept for tests/diagnostics)."""
+        if self._supervisor is None:
+            return []
+        return [slot.proc for slot in self._supervisor.slots if slot.proc is not None]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -340,57 +576,72 @@ class WorkerPool:
     def started(self) -> bool:
         return bool(self._procs)
 
+    @property
+    def disabled(self) -> bool:
+        """True once the pool gave up on workers for the rest of the run."""
+        return self._disabled
+
     def ensure_started(self) -> None:
         if self._closed:
             raise InputError("worker pool is closed")
-        if self._procs:
+        if self._disabled:
+            return  # in-process mode: no workers to start
+        if self._supervisor is not None:
             self._reap_dead()
-        if self._procs:
             return
-        self._tasks = self._ctx.Queue()
-        self._results = self._ctx.Queue()
-        self._cancel = self._ctx.Event()
-        self._epoch_value = self._ctx.Value("L", 0)
-        for _ in range(self.workers):
-            proc = self._ctx.Process(
-                target=_worker_main,
-                args=(self._tasks, self._results, self._cancel, self._epoch_value),
-                daemon=True,
-            )
-            proc.start()
-            self._procs.append(proc)
+        from repro.parallel.shm import reap_orphan_segments
+
+        reap_orphan_segments()
+        self._cancel = _RawFlag(self._ctx)
+        # Raw (lock-free) on purpose: the parent is the only writer and
+        # a synchronized Value's lock could be stranded by worker death.
+        self._epoch_value = self._ctx.Value("L", 0, lock=False)
+        self._fault_flag = self._ctx.Value("i", 0)
+        self._supervisor = WorkerSupervisor(
+            self._ctx,
+            self.workers,
+            _worker_main,
+            self._cancel,
+            self._epoch_value,
+            self._fault_flag,
+            self.stats,
+        )
+        self._supervisor.start()
 
     def _reap_dead(self) -> None:
-        """Replace workers that died (e.g. OOM-killed) transparently."""
-        alive = [proc for proc in self._procs if proc.is_alive()]
-        dead = len(self._procs) - len(alive)
-        self._procs = alive
-        for _ in range(dead):
-            proc = self._ctx.Process(
-                target=_worker_main,
-                args=(self._tasks, self._results, self._cancel, self._epoch_value),
-                daemon=True,
-            )
-            proc.start()
-            self._procs.append(proc)
+        """Replace workers that died between batches (e.g. OOM-killed)."""
+        for slot in self._supervisor.slots:
+            if not slot.alive:
+                self._supervisor.drain(slot)  # discard: no batch in flight
+                self._supervisor.complete(slot)
+                if not self._supervisor.respawn(slot):
+                    self._disable("respawn failed while reaping dead workers")
+                    return
 
     def close(self) -> None:
         """Terminate workers and drop queues (idempotent)."""
         if self._closed:
             return
         self._closed = True
-        if self._procs:
-            try:
-                for _ in self._procs:
-                    self._tasks.put(None)
-                for proc in self._procs:
-                    proc.join(timeout=2.0)
-            except Exception:  # pragma: no cover - teardown best effort
-                pass
-            for proc in self._procs:
-                if proc.is_alive():  # pragma: no cover - stuck worker
-                    proc.terminate()
-            self._procs = []
+        if self._supervisor is not None:
+            self._supervisor.shutdown()
+            self._supervisor = None
+        from repro.parallel.tasks import reset_worker_caches
+
+        # Quarantined/in-process shards may have attached segments in
+        # the parent; release those mappings with the pool.
+        if not _IN_WORKER:
+            reset_worker_caches()
+
+    def _disable(self, reason: str) -> None:
+        """Give up on workers for the rest of the run (serial fallback)."""
+        if self._disabled:
+            return
+        self._disabled = True
+        self.stats.pool_disabled = 1
+        if self._supervisor is not None:
+            self._supervisor.shutdown(terminate=True)
+            self._supervisor = None
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -399,98 +650,296 @@ class WorkerPool:
         """Run one batch; return per-payload results in payload order.
 
         Raises :class:`BudgetExceeded` when any worker breached its
-        propagated budget (after cancelling the rest of the batch) and
-        :class:`WorkerError` on an unexpected worker exception.  The
-        parent keeps ticking its own checkpoints while waiting, so
-        parent-side budget breaches and injected faults fire mid-shard;
-        the batch is then orphaned via the epoch counter and the pool
-        remains usable.
+        propagated budget (after cancelling the rest of the batch),
+        :class:`WorkerError` on an unexpected worker exception (the
+        remote traceback chained as the cause), and
+        :class:`WorkerCrashError` only in strict mode — by default a
+        dead or hung worker is respawned and its shard retried or
+        quarantined, so the batch still completes with the serial
+        result.  The parent keeps ticking its own checkpoints while
+        waiting, so parent-side budget breaches and injected faults
+        fire mid-shard; the batch is then orphaned via the epoch
+        counter and the pool remains usable.
         """
         if not payloads:
             return []
         self.ensure_started()
+        if self._disabled:
+            self.stats.batches += 1
+            return [
+                self._execute_in_process(kind, payload, stage)
+                for payload in payloads
+            ]
         self._epoch += 1
         epoch = self._epoch
-        with self._epoch_value.get_lock():
-            self._epoch_value.value = epoch
+        self._epoch_value.value = epoch
         self._cancel.clear()
-        self._drain_stale()
 
         from repro import kernels
         from repro.structures import fdtree
 
-        snapshot = _governor_snapshot(current_governor())
+        governor = current_governor()
+        snapshot = _governor_snapshot(governor)
+        plan = governor.fault_plan if governor is not None else None
+        fault = self._worker_fault_descriptor(plan)
         kernel = kernels.backend_name()
         engine = fdtree.engine_name()
-        for index, payload in enumerate(payloads):
-            self._tasks.put(
-                (epoch, index, kind, payload, snapshot, kernel, engine)
-            )
+
         self.stats.batches += 1
         self.stats.tasks_dispatched += len(payloads)
         self.stats.largest_shard = max(self.stats.largest_shard, len(payloads))
 
-        results: list = [None] * len(payloads)
-        pending = len(payloads)
-        breach: dict | None = None
-        error: str | None = None
-        ticks = 0
-        candidates = 0
+        state = _BatchState(kind, payloads)
+
+        def make_item(index: int):
+            return (
+                epoch,
+                index,
+                kind,
+                payloads[index],
+                snapshot,
+                kernel,
+                engine,
+                fault,
+            )
+
         try:
-            while pending:
-                try:
-                    item = self._results.get(timeout=0.02)
-                except Exception:  # queue.Empty
+            while state.pending:
+                if self._disabled:
+                    # Respawn gave up mid-batch: finish what the workers
+                    # never returned on the in-process serial path.
+                    self._finish_in_process(state, stage)
+                    break
+                self._schedule(state, make_item)
+                items = self._supervisor.poll_results(
+                    supervisor_mod.POLL_INTERVAL
+                )
+                if not items:
                     checkpoint(stage)
+                    self._supervise(state, epoch, stage)
                     continue
-                got_epoch, index, status, value = item
-                if got_epoch != epoch:
-                    continue  # orphaned result of an interrupted batch
-                pending -= 1
-                if status == "ok":
-                    task_value, task_ticks, task_candidates, attach = value
-                    results[index] = task_value
-                    ticks += task_ticks
-                    candidates += task_candidates
-                    self.stats.attach_seconds += attach
-                elif status == "budget":
-                    breach = breach or value
-                    self._cancel.set()
-                elif status == "cancelled":
-                    self.stats.cancelled_tasks += 1
-                else:  # "error"
-                    error = error or value
-                    self._cancel.set()
+                for item in items:
+                    self._consume(state, epoch, item)
         except BaseException:
             # Parent-side breach/fault while waiting: orphan the batch.
-            self._cancel.set()
+            if self._cancel is not None:
+                self._cancel.set()
             raise
         finally:
-            self._cancel.clear()
+            if self._cancel is not None:
+                self._cancel.clear()
+            self._note_worker_fault(plan, fault)
 
         governor = current_governor()
-        if governor is not None and ticks:
-            governor.ticks += ticks
-        if error is not None:
-            raise WorkerError(f"worker task {kind!r} failed:\n{error}")
-        if breach is not None:
+        if governor is not None and state.ticks:
+            governor.ticks += state.ticks
+        if state.error is not None:
+            self._raise_worker_error(kind, state.error)
+        if state.breach is not None:
             raise BudgetExceeded(
-                breach["reason"],
-                stage=breach["stage"] or stage,
-                limit=breach["limit"],
-                observed=breach["observed"],
+                state.breach["reason"],
+                stage=state.breach["stage"] or stage,
+                limit=state.breach["limit"],
+                observed=state.breach["observed"],
             )
-        if candidates:
-            add_candidates(candidates, stage)
-        return results
+        if state.candidates:
+            add_candidates(state.candidates, stage)
+        return state.results
 
-    def _drain_stale(self) -> None:
-        """Drop results left over from an interrupted batch."""
-        while True:
-            try:
-                self._results.get_nowait()
-            except Exception:
+    # -- batch plumbing ------------------------------------------------
+    def _schedule(self, state: _BatchState, make_item) -> None:
+        """Hand queued payloads to idle workers, one in flight each."""
+        while state.queued:
+            slot = self._supervisor.idle_slot()
+            if slot is None:
                 return
+            index = state.queued.popleft()
+            if state.done[index]:
+                continue  # a duplicate result beat the retry to it
+            self._supervisor.assign(slot, make_item(index), self._epoch, index)
+
+    def _consume(self, state: _BatchState, epoch: int, item) -> None:
+        """Fold one result message into the batch state."""
+        worker_id, got_epoch, index, status, value = item
+        sup = self._supervisor
+        if sup is not None:
+            slot = sup.slot_by_id(worker_id)
+            if (
+                slot is not None
+                and slot.busy
+                and slot.epoch == got_epoch
+                and slot.index == index
+            ):
+                sup.complete(slot)
+        if got_epoch != epoch:
+            return  # orphaned result of an interrupted batch
+        if state.done[index]:
+            return  # duplicate after a conservative retry
+        if status == "ok":
+            task_value, task_ticks, task_candidates, attach = value
+            state.results[index] = task_value
+            state.ticks += task_ticks
+            state.candidates += task_candidates
+            self.stats.attach_seconds += attach
+        elif status == "budget":
+            state.breach = state.breach or value
+            self._cancel.set()
+        elif status == "cancelled":
+            self.stats.cancelled_tasks += 1
+        else:  # "error"
+            state.error = state.error or value
+            self._cancel.set()
+        state.finish(index)
+
+    def _supervise(self, state: _BatchState, epoch: int, stage: str) -> None:
+        """Death/hang sweep, run whenever the result queue is quiet."""
+        sup = self._supervisor
+        if sup is None:
+            return
+        now = time.monotonic()
+        for slot in list(sup.slots):
+            if self._disabled:
+                return
+            alive = slot.alive
+            if alive and sup.is_hung(slot, now):
+                self.stats.heartbeat_misses += 1
+                sup.kill(slot)
+                alive = False
+            if not alive:
+                self._handle_death(state, slot, epoch, stage)
+        if state.pending and not state.queued and sup.busy_count(epoch) == 0:
+            # Defensive: nothing queued, nothing in flight, work remains
+            # (e.g. an assignment raced a death) — requeue the leftovers.
+            for index, is_done in enumerate(state.done):
+                if not is_done:
+                    state.queued.append(index)
+
+    def _handle_death(
+        self, state: _BatchState, slot, epoch: int, stage: str
+    ) -> None:
+        """Recover from one dead worker: respawn + retry or quarantine."""
+        sup = self._supervisor
+        # A worker that posted its result and *then* died completes its
+        # shard here — only genuinely unreported work is retried.
+        for item in sup.drain(slot):
+            self._consume(state, epoch, item)
+        exitcode = slot.proc.exitcode if slot.proc is not None else None
+        lost_index = None
+        if slot.busy and slot.epoch == epoch and slot.index is not None:
+            if not state.done[slot.index]:
+                lost_index = slot.index
+        sup.complete(slot)
+        if lost_index is not None:
+            state.deaths[lost_index] += 1
+        if self.strict:
+            raise WorkerCrashError(
+                f"worker {slot.id} died (exitcode {exitcode}) while running "
+                f"task {state.kind!r} shard {lost_index}; strict mode "
+                "(REPRO_POOL_STRICT) forbids recovery",
+                task_kind=state.kind,
+                payload_index=lost_index,
+                exitcode=exitcode,
+                deaths=state.deaths[lost_index] if lost_index is not None else 0,
+            )
+        if not sup.respawn(slot):
+            self._disable(
+                f"worker respawn failed or exceeded the limit of "
+                f"{supervisor_mod.RESPAWN_LIMIT}"
+            )
+        if lost_index is None:
+            return
+        if self._cancel.is_set():
+            # The batch is already being torn down (breach/error): the
+            # lost shard would only come back "cancelled" anyway.
+            self.stats.cancelled_tasks += 1
+            state.finish(lost_index)
+            return
+        if state.deaths[lost_index] >= supervisor_mod.TASK_DEATH_LIMIT:
+            self._quarantine(state, lost_index, stage)
+        else:
+            self.stats.retries += 1
+            state.queued.appendleft(lost_index)
+
+    def _quarantine(self, state: _BatchState, index: int, stage: str) -> None:
+        """A payload that keeps killing workers runs in-process instead.
+
+        Handlers are pure functions of payload + shared segment, so the
+        in-process execution produces the byte-identical result — the
+        shard just loses its parallelism, not its correctness.
+        """
+        self.stats.quarantined += 1
+        state.results[index] = self._execute_in_process(
+            state.kind, state.payloads[index], stage
+        )
+        state.finish(index)
+
+    def _finish_in_process(self, state: _BatchState, stage: str) -> None:
+        """Run every not-yet-done payload serially (pool disabled)."""
+        for index in range(len(state.payloads)):
+            if state.done[index]:
+                continue
+            state.results[index] = self._execute_in_process(
+                state.kind, state.payloads[index], stage
+            )
+            state.finish(index)
+
+    def _execute_in_process(self, kind: str, payload, stage: str):
+        """Run one task handler in the parent, under the ambient governor.
+
+        The parent's own governor ticks/candidate counts advance
+        directly (no fold-back needed) and budget breaches propagate as
+        usual; any other exception is wrapped like a worker error.
+        """
+        from repro.parallel.tasks import TASK_HANDLERS
+
+        self.stats.in_process_tasks += 1
+        try:
+            return TASK_HANDLERS[kind](payload)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise WorkerError(
+                f"worker task {kind!r} failed during in-process fallback"
+            ) from exc
+
+    def _raise_worker_error(self, kind: str, info: dict) -> None:
+        """Re-raise a worker exception with its remote traceback chained."""
+        cause = _RemoteTraceback(info.get("traceback", ""))
+        pickled = info.get("pickled")
+        if pickled is not None:
+            try:
+                original = pickle.loads(pickled)
+            except Exception:  # pragma: no cover - stale pickle
+                original = None
+            if isinstance(original, ReproError):
+                raise original from cause
+        raise WorkerError(
+            f"worker task {kind!r} failed with {info.get('type', 'Exception')}",
+            remote_traceback=info.get("traceback"),
+        ) from cause
+
+    # -- worker-level fault injection ----------------------------------
+    def _worker_fault_descriptor(self, plan) -> dict | None:
+        """The fault descriptor to ship with this batch's tasks, if any."""
+        if plan is None or plan.fired:
+            return None
+        from repro.runtime.faults import WORKER_FAULT_MODES
+
+        if plan.mode not in WORKER_FAULT_MODES:
+            return None
+        if self._fault_flag is None or self._fault_flag.value:
+            return None
+        return {"mode": plan.mode, "at_tick": plan.at_tick, "stage": plan.stage}
+
+    def _note_worker_fault(self, plan, fault: dict | None) -> None:
+        """Fold the shared fired-flag back into the parent's plan."""
+        if fault is None or self._fault_flag is None:
+            return
+        if self._fault_flag.value and plan is not None and not plan.fired:
+            plan.fired = True
+            if not plan.fired_at_stage:
+                plan.fired_at_stage = "worker"
+            self.stats.worker_faults_fired += 1
 
 
 def _governor_snapshot(governor: Governor | None) -> dict | None:
@@ -523,11 +972,20 @@ def get_pool(workers: int) -> WorkerPool:
 
 
 def shutdown_pool() -> None:
-    """Close the shared pool (idempotent; registered atexit)."""
+    """Close the shared pool (idempotent; registered atexit).
+
+    Also releases any shared-memory segments this process still owns
+    and reaps segments orphaned by dead processes, so a full teardown
+    leaves ``/dev/shm`` clean.
+    """
     global _POOL
     if _POOL is not None:
         _POOL.close()
         _POOL = None
+    from repro.parallel.shm import reap_orphan_segments, release_owned_segments
+
+    release_owned_segments()
+    reap_orphan_segments()
 
 
 def note_serial_fallback() -> None:

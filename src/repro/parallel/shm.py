@@ -28,10 +28,21 @@ set re-add is a no-op) and never unregister from workers: the only
 unregister is the one ``unlink()`` itself performs, keeping the
 tracker balanced with no spurious KeyErrors and a guaranteed unlink
 if the parent dies without cleanup.
+
+Segment names encode the owning pid (``repro-shm-<pid>-<hex>``), which
+makes orphans *attributable*: :func:`reap_orphan_segments` scans the
+shm directory for our prefix, keeps anything whose owner is still
+alive, and unlinks the rest.  The pool runs the reaper at startup and
+teardown, so segments stranded by a SIGKILLed process (the one case
+the resource tracker cannot cover — tracker and owner die together)
+are cleaned up by the next run instead of accumulating in
+``/dev/shm``.  :func:`release_owned_segments` is the complementary
+same-process cleanup used by the CLI's signal boundary.
 """
 
 from __future__ import annotations
 
+import os
 from array import array
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -43,9 +54,108 @@ __all__ = [
     "SharedRelation",
     "attach_encoding",
     "export_encoding",
+    "owned_segments",
+    "reap_orphan_segments",
+    "release_owned_segments",
 ]
 
 _ITEMSIZE = array("i").itemsize
+
+#: Every segment this library creates is named ``<prefix>-<pid>-<hex>``.
+SEGMENT_PREFIX = "repro-shm"
+
+#: Names of segments created (and not yet unlinked) by *this* process.
+_OWNED: set[str] = set()
+
+
+def _create_segment(size: int) -> shared_memory.SharedMemory:
+    """Create a segment under the pid-attributed naming scheme."""
+    while True:
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{os.urandom(4).hex()}"
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=size, name=name)
+        except FileExistsError:  # pragma: no cover - 32-bit collision
+            continue
+        _OWNED.add(shm.name)
+        return shm
+
+
+def owned_segments() -> frozenset[str]:
+    """Names of live segments created by this process (diagnostics)."""
+    return frozenset(_OWNED)
+
+
+def release_owned_segments() -> int:
+    """Unlink every segment this process still owns; return the count.
+
+    Safe to call while :class:`SharedRelation` objects are live: unlink
+    only removes the name, existing mappings stay valid, and the later
+    ``SharedRelation.close`` tolerates the double unlink.  Used by the
+    CLI's SIGINT/SIGTERM boundary and pool teardown so an interrupted
+    run leaves nothing behind in ``/dev/shm``.
+    """
+    released = 0
+    for name in list(_OWNED):
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+            segment.close()
+            segment.unlink()
+            released += 1
+        except FileNotFoundError:
+            pass
+        except OSError:  # pragma: no cover - platform-specific teardown
+            pass
+        _OWNED.discard(name)
+    return released
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's process
+        return True
+    except OSError:  # pragma: no cover - conservative: assume alive
+        return True
+    return True
+
+
+def reap_orphan_segments(shm_dir: str = "/dev/shm") -> int:
+    """Unlink segments whose owning process is dead; return the count.
+
+    Only names matching our ``repro-shm-<pid>-...`` scheme are
+    considered, and only when ``<pid>`` no longer exists — segments of
+    live processes (including our own) are never touched.  On platforms
+    without a scannable shm directory this is a silent no-op.
+    """
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:
+        return 0
+    own_pid = os.getpid()
+    reaped = 0
+    marker = SEGMENT_PREFIX + "-"
+    for name in names:
+        if not name.startswith(marker):
+            continue
+        parts = name.split("-")
+        if len(parts) < 4 or not parts[2].isdigit():
+            continue
+        pid = int(parts[2])
+        if pid == own_pid or _pid_alive(pid):
+            continue
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError):  # pragma: no cover - raced
+            continue
+        try:
+            segment.close()
+            segment.unlink()
+            reaped += 1
+        except (FileNotFoundError, OSError):  # pragma: no cover - raced
+            pass
+    return reaped
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,6 +200,7 @@ class SharedRelation:
         """
         if self._shm is None:
             return
+        _OWNED.discard(self._shm.name)
         try:
             self._shm.close()
             self._shm.unlink()
@@ -117,7 +228,7 @@ def export_encoding(encoding: EncodedRelation) -> SharedRelation:
     num_rows = encoding.num_rows
     arity = encoding.arity
     size = max(arity * num_rows * _ITEMSIZE, 1)
-    shm = shared_memory.SharedMemory(create=True, size=size)
+    shm = _create_segment(size)
     view = memoryview(shm.buf).cast("b").cast("i") if num_rows else None
     for attr, codes in enumerate(encoding.codes):
         if num_rows:

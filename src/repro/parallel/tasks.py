@@ -271,6 +271,73 @@ def _int_array(raw: bytes) -> array:
     return out
 
 
+def _chaos_probe(payload: dict) -> dict:
+    """Controlled misbehavior for supervisor tests and the chaos campaign.
+
+    ``action`` selects the failure; ``marker`` (a path) makes it
+    *transient*: the first execution creates the marker and then fails,
+    the retry finds the marker and succeeds — without a marker the
+    payload is poison (fails every time, forcing quarantine).  The
+    process-fatal actions only fire inside a real pool worker so the
+    quarantined in-process execution can complete.
+    """
+    import os as _os
+
+    from repro.runtime.governor import checkpoint
+
+    action = payload.get("action", "echo")
+    marker = payload.get("marker")
+    checkpoint("chaos-probe")
+    survived = {"value": payload.get("value"), "pid": _os.getpid()}
+    if action == "echo":
+        return survived
+    if action == "raise_input":
+        from repro.runtime.errors import InputError
+
+        raise InputError(payload.get("message", "chaos probe input error"))
+    if action == "raise_value":
+        raise ValueError(payload.get("message", "chaos probe value error"))
+    if marker is not None:
+        try:
+            with open(marker, "x"):
+                pass
+        except FileExistsError:
+            return survived  # the retry after the first crash
+    from repro.parallel import pool as pool_module
+
+    if not pool_module._IN_WORKER:
+        return survived  # quarantined in-process: succeed serially
+    if action == "kill":
+        import signal as _signal
+
+        _os.kill(_os.getpid(), _signal.SIGKILL)
+    if action == "exit":
+        _os._exit(payload.get("status", 137))
+    if action == "hang":
+        import time as _time
+
+        while True:
+            _time.sleep(0.05)
+    raise ValueError(f"unknown chaos action {action!r}")
+
+
+def _pool_probe(payload: dict) -> dict:
+    """Report the executing process's pool-related state (tests only)."""
+    import os as _os
+
+    from repro.parallel import pool as pool_module
+    from repro.runtime.governor import checkpoint
+
+    for _ in range(payload.get("ticks", 1)):
+        checkpoint("pool-probe")
+    return {
+        "pid": _os.getpid(),
+        "in_worker": pool_module._IN_WORKER,
+        "resolved_workers": pool_module.resolve_workers(),
+        "value": payload.get("value"),
+    }
+
+
 TASK_HANDLERS = {
     "closure_shard": _closure_shard,
     "agree_pairs": _agree_pairs,
@@ -278,4 +345,6 @@ TASK_HANDLERS = {
     "tane_generate": _tane_generate,
     "keys_violations": _keys_violations,
     "verify_chunk": _verify_chunk,
+    "chaos_probe": _chaos_probe,
+    "pool_probe": _pool_probe,
 }

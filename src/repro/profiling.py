@@ -136,7 +136,10 @@ def profile(
     ``ucc_``) whenever the chosen algorithms expose them, plus — with
     ``workers > 1`` — the worker-pool counters of the FD discovery run
     (``pool_``-prefixed: tasks dispatched, shard sizes, shared-memory
-    attach/export times, serial fallbacks).  It also records the active
+    attach/export times, serial fallbacks, plus the self-healing
+    totals — respawns, retries, quarantined shards, heartbeat misses,
+    in-process fallback tasks, and whether the pool degraded to serial
+    entirely).  It also records the active
     kernel backend (``kernel_backend``) and this profile run's
     per-kernel call/row totals (``kernel_*_calls`` / ``kernel_*_rows``;
     parent process only — worker-side kernel calls are not folded back).

@@ -15,6 +15,9 @@ families without string matching:
   losing everything.
 * :class:`CheckpointError` — a pipeline checkpoint cannot be loaded or
   does not match the run it is resumed into.
+* :class:`WorkerCrashError` — a pool worker process died (real SIGKILL,
+  OOM kill, segfault) and the supervisor could not — or was configured
+  not to — recover the lost shard.
 
 :class:`DegradedResultWarning` is the non-fatal member of the taxonomy:
 the pipeline finished, but at reduced fidelity (see
@@ -32,6 +35,7 @@ __all__ = [
     "DegradedResultWarning",
     "InputError",
     "ReproError",
+    "WorkerCrashError",
 ]
 
 
@@ -114,6 +118,40 @@ class BudgetExceeded(ReproError):
 
 class CheckpointError(ReproError):
     """A checkpoint file is unreadable or inconsistent with this run."""
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died and the lost shard could not be recovered.
+
+    Under the default self-healing policy (see ``docs/PARALLEL.md``) a
+    worker death is *not* an error: the supervisor respawns the worker
+    and retries the shard, quarantining payloads that kill workers
+    repeatedly onto the in-process serial path.  This exception is
+    reserved for the cases where that policy is unavailable — strict
+    mode (``REPRO_POOL_STRICT=1``) forbidding recovery, or respawn
+    itself failing.  CLI exit code 5.
+
+    Attributes:
+        task_kind: the task-handler name of the lost shard.
+        payload_index: the shard's index within its batch (None when
+            the dead worker held no shard).
+        exitcode: the worker process's exit code (negative = signal).
+        deaths: how many workers this payload has killed so far.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        task_kind: str = "",
+        payload_index: int | None = None,
+        exitcode: int | None = None,
+        deaths: int = 0,
+    ) -> None:
+        self.task_kind = task_kind
+        self.payload_index = payload_index
+        self.exitcode = exitcode
+        self.deaths = deaths
+        super().__init__(message)
 
 
 class DegradedResultWarning(UserWarning):

@@ -49,6 +49,9 @@ class FaultCampaignReport:
     kills: int = 0
     resumes: int = 0
     degraded_results: int = 0
+    worker_faults: int = 0
+    respawns: int = 0
+    quarantined: int = 0
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -60,9 +63,17 @@ class FaultCampaignReport:
             f"fault campaign: {len(self.seeds)} seeds, "
             f"{self.fired} faults fired ({self.kills} kills, "
             f"{self.resumes} successful resumes), "
-            f"{self.degraded_results} degraded results: "
-            + ("all passed" if self.ok else f"{len(self.failures)} FAILURES")
+            f"{self.degraded_results} degraded results"
         ]
+        if self.worker_faults or self.respawns or self.quarantined:
+            lines[0] += (
+                f", {self.worker_faults} worker faults "
+                f"({self.respawns} respawns, "
+                f"{self.quarantined} quarantined)"
+            )
+        lines[0] += ": " + (
+            "all passed" if self.ok else f"{len(self.failures)} FAILURES"
+        )
         for failure in self.failures:
             lines.append(f"  FAIL {failure}")
         return "\n".join(lines)
@@ -91,16 +102,33 @@ def run_fault_campaign(
     num_rows: int = 40,
     max_columns: int = 8,
     progress: Callable[[str], None] | None = None,
+    workers: int | None = None,
 ) -> FaultCampaignReport:
-    """Sweep fault seeds over the governed pipeline; see module docstring."""
+    """Sweep fault seeds over the governed pipeline; see module docstring.
+
+    With ``workers`` resolved above 1 (explicitly or via
+    ``REPRO_WORKERS``), every odd seed becomes a *worker-fault* run:
+    a ``worker_kill``/``worker_oom``/``worker_hang`` plan fires inside
+    a pool worker mid-shard and the harness asserts the self-healing
+    contract — the run completes, the recovery is visible in the pool
+    counters, and the DDL is byte-identical to the serial reference.
+    """
     if isinstance(seeds, int):
         seeds = range(seeds)
+    from repro.parallel import resolve_workers
+
+    resolved = resolve_workers(workers)
     report = FaultCampaignReport()
     for seed in seeds:
         report.seeds.append(seed)
-        if progress is not None:
-            progress(f"fault seed {seed}")
-        _run_one(seed, report, num_rows, max_columns)
+        if resolved > 1 and seed % 2 == 1:
+            if progress is not None:
+                progress(f"worker-fault seed {seed}")
+            _run_one_worker_fault(seed, report, num_rows, max_columns, resolved)
+        else:
+            if progress is not None:
+                progress(f"fault seed {seed}")
+            _run_one(seed, report, num_rows, max_columns)
     return report
 
 
@@ -116,10 +144,12 @@ def _run_one(
     # Cycle the mode deterministically so every third seed is a kill,
     # and keep ticks low — small campaign tables only produce a few
     # hundred — so most seeds actually exercise a recovery path.
-    from repro.runtime.faults import FAULT_MODES
+    from repro.runtime.faults import PROCESS_FAULT_MODES
 
     plan = FaultPlan.from_seed(
-        seed, mode=FAULT_MODES[seed % len(FAULT_MODES)], max_tick=256
+        seed,
+        mode=PROCESS_FAULT_MODES[seed % len(PROCESS_FAULT_MODES)],
+        max_tick=256,
     )
 
     handle, ckpt = tempfile.mkstemp(prefix="repro-fault-", suffix=".json")
@@ -222,3 +252,97 @@ def _check_resume(
             f"seed {seed}: resumed run's DDL differs from the "
             "uninterrupted reference run"
         )
+
+
+def _run_one_worker_fault(
+    seed: int,
+    report: FaultCampaignReport,
+    num_rows: int,
+    max_columns: int,
+    workers: int,
+) -> None:
+    """One worker-fault chaos run: kill/OOM/hang a pool worker mid-shard.
+
+    The self-healing contract under test: the supervisor respawns the
+    dead (or killed-for-hanging) worker and retries the lost shard, the
+    run completes without any error escaping, the recovery is visible
+    in the pool counters, and — by the deterministic shard/merge
+    contract — the DDL is byte-identical to the serial reference.
+    """
+    import random
+
+    from repro.parallel import pool as pool_mod
+    from repro.parallel import supervisor as supervisor_mod
+    from repro.parallel.pool import pool_stats, shutdown_pool
+    from repro.runtime.faults import WORKER_FAULT_MODES
+
+    instance = _make_instance(seed, num_rows, max_columns)
+    reference_ddl = _ddl(_normalizer().run(instance))
+
+    mode = WORKER_FAULT_MODES[(seed // 2) % len(WORKER_FAULT_MODES)]
+    # Worker governors count ticks per task, so keep at_tick inside the
+    # handful of checkpoints a small campaign shard actually makes.
+    rng = random.Random(seed * 0x51ED270 ^ 0xC8A05)
+    plan = FaultPlan(mode=mode, at_tick=rng.randint(1, 12))
+
+    # Force the pool path on these small campaign tables, and keep hang
+    # detection fast enough for a test-sized timeout.
+    saved_threshold = pool_mod.SERIAL_THRESHOLD
+    saved_hang = supervisor_mod.HANG_TIMEOUT
+    pool_mod.SERIAL_THRESHOLD = 0
+    supervisor_mod.HANG_TIMEOUT = 0.75
+    shutdown_pool()  # a fresh pool re-arms the one-shot fault flag
+    try:
+        import warnings
+
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                result = _normalizer(fault_plan=plan, workers=workers).run(
+                    instance
+                )
+        except ReproError as exc:
+            report.failures.append(
+                f"seed {seed}: worker fault {mode!r} escaped the "
+                f"self-healing pool: {exc!r}"
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            report.failures.append(
+                f"seed {seed}: raw {type(exc).__name__} escaped run() "
+                f"under worker fault {mode!r}: {exc!r}"
+            )
+            return
+
+        stats = pool_stats()
+        if plan.fired:
+            report.fired += 1
+            report.worker_faults += 1
+            if stats is None:
+                report.failures.append(
+                    f"seed {seed}: worker fault {mode!r} fired but no "
+                    "pool exists to account for the recovery"
+                )
+                return
+            report.respawns += stats.respawns
+            report.quarantined += stats.quarantined
+            recovered = (
+                stats.respawns > 0
+                or stats.quarantined > 0
+                or stats.pool_disabled
+            )
+            if not recovered:
+                report.failures.append(
+                    f"seed {seed}: worker fault {mode!r} fired at tick "
+                    f"{plan.at_tick} but the pool counters show no "
+                    "respawn, quarantine, or fallback"
+                )
+        if _ddl(result) != reference_ddl:
+            report.failures.append(
+                f"seed {seed}: DDL after worker fault {mode!r} differs "
+                "from the serial reference"
+            )
+    finally:
+        shutdown_pool()
+        pool_mod.SERIAL_THRESHOLD = saved_threshold
+        supervisor_mod.HANG_TIMEOUT = saved_hang

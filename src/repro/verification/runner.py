@@ -529,7 +529,9 @@ def build_verify_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="shard the seed campaign over N worker processes "
-        "(default: $REPRO_WORKERS or 1; --faults/--incremental stay serial)",
+        "(default: $REPRO_WORKERS or 1); with --faults, N > 1 also runs "
+        "worker-level chaos seeds (worker_kill/worker_oom/worker_hang) "
+        "against the self-healing pool; --incremental stays serial",
     )
     parser.add_argument(
         "--faults",
@@ -616,6 +618,7 @@ def main_verify(argv: Sequence[str] | None = None) -> int:
             num_rows=args.rows,
             max_columns=args.columns,
             progress=progress,
+            workers=args.workers,
         )
         if not args.quiet:
             print()

@@ -1,0 +1,148 @@
+"""Signal handling and structured exit codes at the CLI boundary.
+
+The contract (docs/ROBUSTNESS.md): SIGINT exits 130 and SIGTERM exits
+143 after a graceful teardown (pool down, shared memory unlinked), and
+an unrecovered worker crash in strict pool mode maps to exit 5.  The
+long-running ``repro watch`` loop is driven as a real subprocess and
+signalled from outside — the only honest way to test a signal path.
+"""
+
+import importlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import (
+    EXIT_INTERRUPTED,
+    EXIT_TERMINATED,
+    EXIT_WORKER_CRASH,
+    main,
+)
+from repro.io.csv_io import write_csv
+from repro.model.instance import RelationInstance
+from repro.model.schema import Relation
+from repro.runtime.errors import WorkerCrashError
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture()
+def emp_csv(tmp_path):
+    instance = RelationInstance(
+        Relation("emp", ("emp", "dept", "dname", "loc")),
+        [
+            ["e1", "e2", "e3", "e4", "e5"],
+            ["d1", "d1", "d2", "d2", "d3"],
+            ["Sales", "Sales", "Eng", "Eng", "HR"],
+            ["NY", "NY", "SF", "SF", "NY"],
+        ],
+    )
+    path = tmp_path / "emp.csv"
+    write_csv(instance, path)
+    return path
+
+
+@pytest.fixture()
+def changes_json(tmp_path):
+    path = tmp_path / "changes.json"
+    path.write_text(
+        json.dumps(
+            {
+                "format": "repro/changelog",
+                "version": 1,
+                "batches": [
+                    {
+                        "relation": "emp",
+                        "inserts": [["e6", "d4", "Ops", "LA"]],
+                        "deletes": [],
+                    }
+                ],
+            }
+        )
+    )
+    return path
+
+
+def _spawn_watch(emp_csv, changes_json):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC, PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "watch",
+            str(emp_csv),
+            "--changes",
+            str(changes_json),
+            "--interval",
+            "30",
+            "--report",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    # Wait for the first batch report — the loop is then parked in its
+    # sleep, the steady state a signal would interrupt in production.
+    assert proc.stdout is not None
+    line = proc.stdout.readline()
+    assert line, "watch produced no output before the signal"
+    return proc
+
+
+@pytest.mark.parametrize(
+    ("signum", "expected"),
+    [(signal.SIGINT, EXIT_INTERRUPTED), (signal.SIGTERM, EXIT_TERMINATED)],
+)
+def test_watch_signal_exit_codes(emp_csv, changes_json, signum, expected):
+    proc = _spawn_watch(emp_csv, changes_json)
+    try:
+        time.sleep(0.3)  # let the loop reach its sleep
+        proc.send_signal(signum)
+        code = proc.wait(timeout=20)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    assert code == expected
+
+
+def test_keyboard_interrupt_maps_to_130(emp_csv, monkeypatch, capsys):
+    normalize_mod = importlib.import_module("repro.core.normalize")
+
+    def _interrupt(self, *args, **kwargs):
+        raise KeyboardInterrupt()
+
+    monkeypatch.setattr(normalize_mod.Normalizer, "run", _interrupt)
+    assert main([str(emp_csv)]) == EXIT_INTERRUPTED
+    assert "interrupted" in capsys.readouterr().err
+
+
+def test_worker_crash_maps_to_5(emp_csv, monkeypatch, capsys):
+    normalize_mod = importlib.import_module("repro.core.normalize")
+
+    def _crash(self, *args, **kwargs):
+        raise WorkerCrashError("worker task 'hyfd_validate' crashed")
+
+    monkeypatch.setattr(normalize_mod.Normalizer, "run", _crash)
+    assert main([str(emp_csv)]) == EXIT_WORKER_CRASH
+    assert "hyfd_validate" in capsys.readouterr().err
+
+
+def test_sigterm_handler_is_restored(emp_csv, monkeypatch):
+    previous = signal.getsignal(signal.SIGTERM)
+    normalize_mod = importlib.import_module("repro.core.normalize")
+
+    def _interrupt(self, *args, **kwargs):
+        raise KeyboardInterrupt()
+
+    monkeypatch.setattr(normalize_mod.Normalizer, "run", _interrupt)
+    main([str(emp_csv)])
+    assert signal.getsignal(signal.SIGTERM) is previous

@@ -347,3 +347,53 @@ class TestForkHygiene:
         monkeypatch.delenv("REPRO_WORKERS")
         assert Normalizer().workers == 1
         assert "REPRO_WORKERS" not in os.environ
+
+
+class TestPoolLifecycle:
+    def test_restart_after_shutdown(self):
+        payloads = [
+            {
+                "algorithm": "optimized",
+                "pairs": [(0b01, 0b10)],
+                "start": 0,
+                "stop": 1,
+                "num_attributes": 2,
+            }
+        ]
+        first = get_pool(2)
+        assert first.map_tasks("closure_shard", payloads) == [[0b10]]
+        shutdown_pool()
+        second = get_pool(2)
+        assert second is not first
+        assert second.map_tasks("closure_shard", payloads) == [[0b10]]
+
+    def test_no_shm_leak_across_epochs(self, monkeypatch):
+        from repro.parallel.shm import owned_segments
+
+        monkeypatch.setattr(pool_mod, "SERIAL_THRESHOLD", 0)
+        instance = plant_instance(5, num_columns=5, num_rows=40).instance
+        encoding = instance.encoded(True)
+        for _ in range(3):
+            with RelationRun(2, encoding) as run:
+                run.map(
+                    "agree_pairs",
+                    [{"handle": run.handle, "pairs": [(0, 1)]}],
+                    stage="test",
+                )
+            assert not owned_segments()
+        prefix = f"repro-shm-{os.getpid()}-"
+        try:
+            leftovers = [
+                name
+                for name in os.listdir("/dev/shm")
+                if name.startswith(prefix)
+            ]
+        except OSError:
+            leftovers = []
+        assert leftovers == []
+
+    def test_closed_pool_refuses_dispatch(self):
+        pool = get_pool(2)
+        pool.close()
+        with pytest.raises(InputError):
+            pool.map_tasks("pool_probe", [{"value": 1}])

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: verify verify-parallel verify-kernels verify-lattice fuzz fuzz-faults fuzz-chaos fuzz-incremental fuzz-kernels fuzz-lattice bench bench-engine bench-fdtree bench-incremental bench-parallel bench-kernels
+.PHONY: verify verify-parallel verify-kernels verify-lattice serve-smoke fuzz fuzz-faults fuzz-chaos fuzz-incremental fuzz-kernels fuzz-lattice bench bench-engine bench-fdtree bench-incremental bench-parallel bench-kernels bench-serve
 
 # Tier-1 suite — the gate every change must keep green (see ROADMAP.md).
 verify:
@@ -25,6 +25,13 @@ verify-kernels:
 verify-lattice:
 	REPRO_FDTREE=legacy PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_fdtree_differential.py tests/test_lattice_metamorphic.py -m "not fuzz"
+
+# Daemon end-to-end smoke: real `repro serve` subprocess, upload →
+# batches → DDL via `repro submit`, byte-diffed against the offline
+# CLI, SIGTERM drain, kill -9 + --resume-dir revival with zero
+# rediscovery (docs/SERVER.md).
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_server_smoke.py tests/test_server.py
 
 # Differential/metamorphic verification campaign (docs/TESTING.md).
 fuzz:
@@ -84,6 +91,11 @@ bench-incremental:
 # docs/PARALLEL.md explains why single-CPU hosts report < 1.0x).
 bench-parallel:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py --benchmark-only -q
+
+# Daemon latency/throughput: cold create vs warm reads (≥5x gate) and
+# 1/4/16-tenant interleaved throughput (writes BENCH_serve.json).
+bench-serve:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_serve_latency.py --benchmark-only -q
 
 # Kernel backend comparison: partition-engine micro-benchmarks under
 # both backends (enforces the ≥5x large-preset gate, writes

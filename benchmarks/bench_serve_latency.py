@@ -1,0 +1,265 @@
+"""Daemon latency and multi-tenant throughput (``repro serve``).
+
+The daemon's pitch is the warm path: a session's encoded columns, PLI
+caches, and maintained covers stay resident, so everything after the
+initial upload is either O(Δ) maintenance or a pure lookup.  This
+benchmark quantifies that against a real server on a real socket:
+
+* **cold** — ``POST /v1/sessions``: CSV upload + encode + governed
+  discovery + normalization (what every request would cost without
+  sessions);
+* **warm** — ``GET .../ddl`` and ``POST .../normalize`` on the live
+  session: serialization only, the covers are already maintained;
+* **batch** — ``POST .../batch``: incremental maintenance of one
+  small append;
+* **throughput** — 1 / 4 / 16 tenants hammering their own sessions
+  concurrently with mixed batch+read traffic, measuring aggregate
+  requests/second through the per-tenant-fair compute gate.
+
+**Gate:** the warm read path must be ≥5x faster than the cold create
+path — below that the session cache is not earning its memory.  The
+table persists to ``benchmarks/results/serve_latency.txt`` and the
+machine-readable document to ``benchmarks/results/BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import csv
+import io
+import statistics
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from _util import emit, emit_json
+from repro.evaluation.reporting import format_table
+from repro.server import ReproClient, ReproServer, ServerConfig
+from repro.verification.planted import plant_instance
+
+#: planted base table: mid-sized, enough for discovery to be visible
+_COLUMNS = 7
+_ROWS = 1_500
+_COLD_ROUNDS = 5
+_WARM_ROUNDS = 40
+_BATCH_ROUNDS = 15
+_TENANT_COUNTS = [1, 4, 16]
+_REQUESTS_PER_TENANT = 6
+
+#: the gate: warm reads must beat cold creates by at least this factor
+WARM_SPEEDUP_GATE = 5.0
+
+_RESULTS: dict[str, object] = {}
+
+
+def _csv_bytes() -> bytes:
+    planted = plant_instance(
+        7321, num_columns=_COLUMNS, num_rows=_ROWS, derived_rate=0.6
+    )
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(planted.instance.columns)
+    for row in planted.instance.iter_rows():
+        writer.writerow(["" if v is None else v for v in row])
+    return buffer.getvalue().encode("utf-8")
+
+
+def _batch_payload(index: int) -> dict:
+    row = [f"bench{index}-{col}" for col in range(_COLUMNS)]
+    return {"inserts": [row], "deletes": []}
+
+
+class _ServerThread:
+    """The daemon on a real TCP socket, driven from a thread."""
+
+    def __init__(self):
+        self.server: ReproServer | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def main():
+            self.server = ReproServer(ServerConfig(port=0, max_sessions=64))
+            self.loop = asyncio.get_running_loop()
+            ready = asyncio.Event()
+            task = asyncio.create_task(self.server.run_until_shutdown(ready))
+            await ready.wait()
+            self._ready.set()
+            await task
+
+        asyncio.run(main())
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(timeout=30)
+        return self
+
+    def __exit__(self, *exc):
+        self.loop.call_soon_threadsafe(self.server.request_shutdown)
+        self._thread.join(timeout=30)
+
+    def client(self, tenant: str) -> ReproClient:
+        return ReproClient(
+            "127.0.0.1", self.server.bound_port, tenant=tenant
+        )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _serve_report(request):
+    yield
+    if not _RESULTS:
+        return
+    latency = _RESULTS.get("latency", {})
+    rows = [
+        [path, f"{stats['median_ms']:.2f}", f"{stats['mean_ms']:.2f}", stats["rounds"]]
+        for path, stats in latency.items()
+    ]
+    table = format_table(
+        ["path", "median (ms)", "mean (ms)", "rounds"],
+        rows,
+        title=(
+            f"repro serve latency ({_COLUMNS}-col x {_ROWS}-row planted "
+            f"table; warm/cold = "
+            f"{_RESULTS.get('warm_speedup', 0):.1f}x, gate >= "
+            f"{WARM_SPEEDUP_GATE:.0f}x)"
+        ),
+    )
+    lines = [table, ""]
+    for entry in _RESULTS.get("throughput", []):
+        lines.append(
+            f"  {entry['tenants']:>2} tenant(s): "
+            f"{entry['requests_per_second']:.1f} req/s "
+            f"({entry['requests']} mixed batch+read requests in "
+            f"{entry['seconds']:.2f}s)"
+        )
+    emit("\n".join(lines), request, filename="serve_latency")
+    emit_json("serve", _RESULTS)
+
+
+def _time_ms(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return (time.perf_counter() - started) * 1000.0
+
+
+def _stats(samples: list[float]) -> dict:
+    return {
+        "median_ms": statistics.median(samples),
+        "mean_ms": statistics.fmean(samples),
+        "rounds": len(samples),
+    }
+
+
+def test_cold_vs_warm_latency(benchmark):
+    csv_bytes = _csv_bytes()
+
+    def run():
+        out: dict[str, dict] = {}
+        with _ServerThread() as harness:
+            client = harness.client("bench")
+            cold = [
+                _time_ms(
+                    lambda i=i: client.create_session(
+                        csv_bytes, name="planted", session=f"cold{i}"
+                    )
+                )
+                for i in range(_COLD_ROUNDS)
+            ]
+            out["create (cold)"] = _stats(cold)
+
+            warm_ddl = [
+                _time_ms(lambda: client.ddl("cold0"))
+                for _ in range(_WARM_ROUNDS)
+            ]
+            out["ddl (warm)"] = _stats(warm_ddl)
+
+            warm_norm = [
+                _time_ms(lambda: client.normalize("cold0"))
+                for _ in range(_WARM_ROUNDS)
+            ]
+            out["normalize (warm)"] = _stats(warm_norm)
+
+            batches = [
+                _time_ms(
+                    lambda i=i: client.apply_batch(
+                        "cold0", _batch_payload(i)
+                    )
+                )
+                for i in range(_BATCH_ROUNDS)
+            ]
+            out["batch (incremental)"] = _stats(batches)
+        return out
+
+    latency = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS["latency"] = latency
+    speedup = (
+        latency["create (cold)"]["median_ms"]
+        / max(latency["ddl (warm)"]["median_ms"], 1e-6)
+    )
+    _RESULTS["warm_speedup"] = speedup
+    _RESULTS["gate"] = {
+        "warm_speedup_min": WARM_SPEEDUP_GATE,
+        "measured": speedup,
+    }
+    assert speedup >= WARM_SPEEDUP_GATE, (
+        f"warm DDL reads are only {speedup:.1f}x faster than cold "
+        f"creates (gate {WARM_SPEEDUP_GATE}x) — the session cache is "
+        "not paying for itself"
+    )
+
+
+def test_multi_tenant_throughput(benchmark):
+    csv_bytes = _csv_bytes()
+
+    def _drive_tenant(harness, tenant: str) -> int:
+        client = harness.client(tenant)
+        client.create_session(csv_bytes, name="planted", session="s")
+        done = 0
+        for index in range(_REQUESTS_PER_TENANT):
+            if index % 3 == 0:
+                client.apply_batch("s", _batch_payload(index))
+            elif index % 3 == 1:
+                client.ddl("s")
+            else:
+                client.normalize("s")
+            done += 1
+        return done
+
+    def run():
+        series = []
+        for tenants in _TENANT_COUNTS:
+            with _ServerThread() as harness:
+                names = [f"tenant{i}" for i in range(tenants)]
+                started = time.perf_counter()
+                with ThreadPoolExecutor(max_workers=tenants) as pool:
+                    counts = list(
+                        pool.map(
+                            lambda name: _drive_tenant(harness, name), names
+                        )
+                    )
+                elapsed = time.perf_counter() - started
+            requests = sum(counts) + tenants  # + the create per tenant
+            series.append(
+                {
+                    "tenants": tenants,
+                    "requests": requests,
+                    "seconds": elapsed,
+                    "requests_per_second": requests / max(elapsed, 1e-9),
+                }
+            )
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS["throughput"] = series
+    _RESULTS["workload"] = {
+        "columns": _COLUMNS,
+        "rows": _ROWS,
+        "requests_per_tenant": _REQUESTS_PER_TENANT,
+    }
+    # Sanity: every tenant completed its full request quota.
+    for entry in series:
+        expected = entry["tenants"] * (_REQUESTS_PER_TENANT + 1)
+        assert entry["requests"] == expected

@@ -209,11 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--fdtree",
         default=None,
-        choices=("level", "legacy"),
+        choices=("level", "legacy", "auto"),
         help="FD-tree engine for the positive cover (default: "
         "$REPRO_FDTREE or level = the level-indexed lattice engine; "
-        "legacy = the recursive baseline); covers are identical under "
-        "either engine",
+        "legacy = the recursive baseline; auto = trie for narrow "
+        "relations, levels otherwise); covers are identical under "
+        "every engine",
     )
     governance = parser.add_argument_group("resource governance")
     governance.add_argument(
@@ -344,6 +345,10 @@ def main(argv: list[str] | None = None) -> int:
             return _main_apply_batch(argv[1:], watch=False)
         if argv and argv[0] == "watch":
             return _main_apply_batch(argv[1:], watch=True)
+        if argv and argv[0] == "serve":
+            return _main_serve(argv[1:])
+        if argv and argv[0] == "submit":
+            return _main_submit(argv[1:])
         return _main_normalize(argv)
     except BudgetExceeded as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -622,7 +627,7 @@ def build_apply_batch_parser(watch: bool = False) -> argparse.ArgumentParser:
     parser.add_argument(
         "--fdtree",
         default=None,
-        choices=("level", "legacy"),
+        choices=("level", "legacy", "auto"),
         help="FD-tree engine for the positive cover "
         "(default: $REPRO_FDTREE or level)",
     )
@@ -811,6 +816,295 @@ def _main_apply_batch(argv: list[str], watch: bool) -> int:
         for name, instance in result.instances.items():
             write_csv(instance, out_dir / f"{name}.csv")
         print(f"{len(result.instances)} relations written to {out_dir}/")
+    return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser of ``repro serve`` (the normalization daemon)."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the multi-tenant normalization daemon: upload datasets "
+            "once, then stream change batches and read schema/DDL views "
+            "without ever re-paying discovery (docs/SERVER.md)."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8651,
+        help="TCP port; 0 picks a free one (default %(default)s)",
+    )
+    parser.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="also/instead listen on a unix domain socket",
+    )
+    parser.add_argument(
+        "--resume-dir",
+        metavar="DIR",
+        default=None,
+        help="persist sessions here; a restarted daemon revives them "
+        "from their incremental journals without rediscovery",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        metavar="N",
+        help="LRU ceiling on in-memory sessions (default %(default)s); "
+        "evicted sessions revive from --resume-dir on next touch",
+    )
+    parser.add_argument(
+        "--idle-ttl",
+        metavar="DUR",
+        default="1h",
+        help="drop sessions idle this long, e.g. 30s, 15m, 1h "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-body",
+        metavar="SIZE",
+        default="64MB",
+        help="request-body ceiling, e.g. 8MB (default %(default)s)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        metavar="DUR",
+        default="10s",
+        help="how long a SIGTERM drain waits for in-flight requests "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-pool size for discovery fan-out (default: "
+        "$REPRO_WORKERS or 1 = serial)",
+    )
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        choices=("python", "numpy", "auto"),
+        help="kernel backend for the partition/agree-set hot paths",
+    )
+    parser.add_argument(
+        "--fdtree",
+        default=None,
+        choices=("level", "legacy", "auto"),
+        help="FD-tree engine policy (auto = legacy trie for narrow "
+        "relations, level-indexed bitset engine otherwise)",
+    )
+    return parser
+
+
+def _main_serve(argv: list[str]) -> int:
+    args = build_serve_parser().parse_args(argv)
+    _select_kernel(args.kernel)
+    _select_fdtree(args.fdtree)
+    if args.workers is not None:
+        import os
+
+        if args.workers < 1:
+            raise InputError("--workers must be >= 1")
+        os.environ["REPRO_WORKERS"] = str(args.workers)
+
+    from repro.server.app import ServerConfig, serve
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        resume_dir=args.resume_dir,
+        max_sessions=args.max_sessions,
+        idle_ttl=parse_duration(args.idle_ttl),
+        max_body_bytes=parse_memory(args.max_body),
+        drain_timeout=parse_duration(args.drain_timeout),
+    )
+    return serve(config)
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    """Parser of ``repro submit`` (client of a running daemon)."""
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description=(
+            "Talk to a running `repro serve` daemon: upload a dataset, "
+            "stream change batches, and fetch schema/DDL/migration views."
+        ),
+    )
+    parser.add_argument(
+        "file",
+        nargs="?",
+        metavar="FILE.csv",
+        help="dataset to upload as a new session (omit to reuse one)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8651)
+    parser.add_argument(
+        "--unix-socket",
+        metavar="PATH",
+        default=None,
+        help="connect over a unix domain socket instead of TCP",
+    )
+    parser.add_argument(
+        "--tenant", default="default", help="tenant id (default %(default)s)"
+    )
+    parser.add_argument(
+        "--session",
+        metavar="ID",
+        default=None,
+        help="session id to create or address (server generates one "
+        "when omitted at upload)",
+    )
+    parser.add_argument(
+        "--changes",
+        metavar="FILE",
+        default=None,
+        help="JSON/JSONL changelog to stream as change batches",
+    )
+    parser.add_argument(
+        "--ddl",
+        metavar="FILE",
+        default=None,
+        help="fetch the session DDL into FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--migration",
+        metavar="FILE",
+        default=None,
+        help="fetch the accumulated migration plans into FILE "
+        "('-' for stdout)",
+    )
+    parser.add_argument(
+        "--schema",
+        action="store_true",
+        help="print the session's normalized schema",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print daemon statistics JSON"
+    )
+    parser.add_argument(
+        "--delete",
+        action="store_true",
+        help="delete the session (after any other actions)",
+    )
+    for flag, kwargs in (
+        ("--algorithm", {"choices": ("hyfd", "tane", "dfd", "bruteforce")}),
+        ("--target", {"choices": ("bcnf", "3nf")}),
+        ("--closure", {"choices": ("naive", "improved", "optimized")}),
+        ("--deadline", {"metavar": "DUR"}),
+        ("--memory-limit", {"metavar": "SIZE"}),
+        ("--max-candidates", {"metavar": "N"}),
+        ("--delimiter", {"metavar": "CHAR"}),
+    ):
+        parser.add_argument(flag, default=None, **kwargs)
+    return parser
+
+
+def _main_submit(argv: list[str]) -> int:
+    args = build_submit_parser().parse_args(argv)
+
+    from repro.server.client import ReproClient, ServerError
+
+    client = ReproClient(
+        host=args.host,
+        port=args.port,
+        tenant=args.tenant,
+        socket_path=args.unix_socket,
+    )
+    session_id = args.session
+
+    def _write(path: str, text: str, label: str) -> None:
+        if path == "-":
+            sys.stdout.write(text)
+        else:
+            Path(path).write_text(text, encoding="utf-8")
+            print(f"{label} written to {path}")
+
+    try:
+        if args.file:
+            options = {
+                key: value
+                for key, value in (
+                    ("algorithm", args.algorithm),
+                    ("target", args.target),
+                    ("closure", args.closure),
+                    ("deadline", args.deadline),
+                    ("memory_limit", args.memory_limit),
+                    ("max_candidates", args.max_candidates),
+                    ("delimiter", args.delimiter),
+                )
+                if value is not None
+            }
+            info = client.create_session(
+                Path(args.file).read_bytes(),
+                name=Path(args.file).stem,
+                session=session_id,
+                **options,
+            )
+            session_id = info["session"]
+            print(
+                f"session {session_id} created: {info['rows']} row(s), "
+                f"{info['relations']} relation(s)"
+            )
+        if args.changes:
+            if session_id is None:
+                raise InputError("--changes needs --session (or an upload)")
+            from repro.io.serialization import load_changelog
+
+            for batch in load_changelog(args.changes, coerce_str=True):
+                outcome = client.apply_batch(session_id, batch.to_json())
+                print(
+                    f"batch {outcome['batch_index']} -> "
+                    f"+{outcome['inserts_applied']} "
+                    f"-{outcome['deletes_applied']} rows, "
+                    f"schema_changed={outcome['schema_changed']}, "
+                    f"fidelity={outcome['fidelity']}"
+                )
+        if args.schema:
+            if session_id is None:
+                raise InputError("--schema needs --session (or an upload)")
+            sys.stdout.write(client.schema_text(session_id))
+        if args.ddl:
+            if session_id is None:
+                raise InputError("--ddl needs --session (or an upload)")
+            _write(args.ddl, client.ddl(session_id), "DDL")
+        if args.migration:
+            if session_id is None:
+                raise InputError(
+                    "--migration needs --session (or an upload)"
+                )
+            _write(
+                args.migration, client.migration(session_id), "Migration plans"
+            )
+        if args.stats:
+            import json as _json
+
+            print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+        if args.delete:
+            if session_id is None:
+                raise InputError("--delete needs --session (or an upload)")
+            client.delete_session(session_id)
+            print(f"session {session_id} deleted")
+    except ServerError as exc:
+        # Mirror the offline exit-code taxonomy over the wire.
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.status == 429:
+            return EXIT_BUDGET_EXCEEDED
+        if exc.status in (500,) and exc.code == "checkpoint_error":
+            return EXIT_CHECKPOINT_ERROR
+        if exc.status == 503 and exc.code == "worker_crash":
+            return EXIT_WORKER_CRASH
+        return EXIT_INPUT_ERROR
+    except OSError as exc:
+        print(f"error: cannot reach the daemon: {exc}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
     return 0
 
 

@@ -4,17 +4,30 @@ The paper's tool consumes plain relational files through the Metanome
 framework; this module is our equivalent.  Values are read as strings;
 empty fields become NULL (``None``) unless ``empty_as_null=False``.
 
+:func:`read_csv` accepts three kinds of sources:
+
+* a path (``str`` / :class:`~pathlib.Path`) — the classic batch case,
+* ``bytes`` / ``bytearray`` — an in-memory document, e.g. an HTTP
+  request body received by ``repro serve`` (no temp file needed),
+* a file-like object — anything with ``.read()``; binary streams are
+  decoded exactly like paths, text streams are consumed as-is.
+
 Real-world CSV is hostile: ragged rows, byte-order marks, bytes that
-are not valid UTF-8, empty files.  :func:`read_csv` turns each of these
-into a structured :class:`~repro.runtime.errors.InputError` carrying
-the file, row, and column context — or repairs them under an explicit
-``on_error`` policy:
+are not valid UTF-8, empty files, duplicate header names.
+:func:`read_csv` turns each of these into a structured
+:class:`~repro.runtime.errors.InputError` carrying the source, row, and
+column context — or repairs them under an explicit ``on_error`` policy:
 
 * ``"strict"`` (default) — any defect raises :class:`InputError`,
 * ``"pad"``    — ragged rows are padded with NULLs / truncated to the
   header width; undecodable bytes become U+FFFD replacement characters,
 * ``"skip"``   — ragged rows are dropped; undecodable bytes are
   replaced as under ``"pad"``.
+
+Duplicate column names in the header are always an :class:`InputError`:
+two columns with the same name cannot be addressed by the FD model, and
+silently renaming one would make the discovered cover refer to a column
+the input never declared.
 
 A UTF-8 byte-order mark is always stripped (``utf-8-sig``): it is a
 transparent encoding artifact, not a data defect.
@@ -23,6 +36,7 @@ transparent encoding artifact, not a data defect.
 from __future__ import annotations
 
 import csv
+import io
 from pathlib import Path
 
 from repro.model.instance import RelationInstance
@@ -33,50 +47,107 @@ __all__ = ["read_csv", "write_csv"]
 
 _POLICIES = ("strict", "pad", "skip")
 
+#: the type union read_csv accepts; documented rather than enforced —
+#: anything with ``.read()`` counts as a stream
+Source = "str | Path | bytes | bytearray | io.IOBase"
+
+
+def _rows_from_source(
+    source, delimiter: str, errors: str, label: str
+) -> list[list[str]]:
+    """Materialize the CSV rows of any supported source kind."""
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        try:
+            # utf-8-sig transparently strips a leading BOM if present.
+            with path.open(
+                newline="", encoding="utf-8-sig", errors=errors
+            ) as handle:
+                return list(csv.reader(handle, delimiter=delimiter))
+        except FileNotFoundError:
+            raise InputError("input file not found", file=label) from None
+        except UnicodeDecodeError as exc:
+            raise InputError(
+                f"not valid UTF-8 ({exc.reason}); re-encode the file or use "
+                "on_error='pad'/'skip' to substitute replacement characters",
+                file=label,
+                byte_offset=exc.start,
+            ) from None
+        except csv.Error as exc:
+            raise InputError(f"malformed CSV: {exc}", file=label) from None
+
+    if isinstance(source, (bytes, bytearray)):
+        data = bytes(source)
+    else:
+        # File-like: one .read() drains it.  A text stream yields str
+        # (already decoded by the caller's choice of codec); a binary
+        # stream yields bytes and goes through the same decode path as
+        # on-disk files.
+        try:
+            data = source.read()
+        except AttributeError:
+            raise InputError(
+                f"unsupported CSV source {type(source).__name__!r}; "
+                "expected a path, bytes, or a file-like object"
+            ) from None
+    if isinstance(data, (bytes, bytearray)):
+        try:
+            text = bytes(data).decode("utf-8-sig", errors=errors)
+        except UnicodeDecodeError as exc:
+            raise InputError(
+                f"not valid UTF-8 ({exc.reason}); re-encode the input or "
+                "use on_error='pad'/'skip' to substitute replacement "
+                "characters",
+                file=label,
+                byte_offset=exc.start,
+            ) from None
+    else:
+        # A text stream opened with a default codec still carries the
+        # BOM as a character; strip it like utf-8-sig would.
+        text = data.lstrip("\ufeff")
+    try:
+        return list(csv.reader(io.StringIO(text, newline=""), delimiter=delimiter))
+    except csv.Error as exc:
+        raise InputError(f"malformed CSV: {exc}", file=label) from None
+
+
+def _source_label(source, name: str | None) -> tuple[str, str]:
+    """(error-context label, default relation name) of a source."""
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        return str(path), path.stem
+    stream_name = getattr(source, "name", None)
+    if isinstance(stream_name, str) and stream_name:
+        return stream_name, Path(stream_name).stem
+    return f"<{type(source).__name__}>", "relation"
+
 
 def read_csv(
-    path: str | Path,
+    source,
     name: str | None = None,
     delimiter: str = ",",
     has_header: bool = True,
     empty_as_null: bool = True,
     on_error: str = "strict",
 ) -> RelationInstance:
-    """Read a CSV file into a :class:`RelationInstance`.
+    """Read a CSV source into a :class:`RelationInstance`.
 
-    Without a header row, columns are named ``col_0 … col_{n-1}``.  The
-    relation name defaults to the file stem.  ``on_error`` selects the
-    malformed-input policy (see the module docstring).
+    ``source`` is a path, ``bytes``, or a file-like object (see the
+    module docstring).  Without a header row, columns are named
+    ``col_0 … col_{n-1}``.  The relation name defaults to the file stem
+    for paths (``relation`` for in-memory sources).  ``on_error``
+    selects the malformed-input policy.
     """
     if on_error not in _POLICIES:
         raise InputError(
             f"unknown on_error policy {on_error!r}; choose from {_POLICIES}"
         )
-    path = Path(path)
     errors = "strict" if on_error == "strict" else "replace"
-    try:
-        # utf-8-sig transparently strips a leading BOM if present.
-        with path.open(
-            newline="", encoding="utf-8-sig", errors=errors
-        ) as handle:
-            reader = csv.reader(handle, delimiter=delimiter)
-            rows = list(reader)
-    except FileNotFoundError:
-        raise InputError("input file not found", file=str(path)) from None
-    except UnicodeDecodeError as exc:
-        raise InputError(
-            f"not valid UTF-8 ({exc.reason}); re-encode the file or use "
-            "on_error='pad'/'skip' to substitute replacement characters",
-            file=str(path),
-            byte_offset=exc.start,
-        ) from None
-    except csv.Error as exc:
-        raise InputError(
-            f"malformed CSV: {exc}", file=str(path)
-        ) from None
+    label, default_name = _source_label(source, name)
+    rows = _rows_from_source(source, delimiter, errors, label)
     if not rows:
         raise InputError(
-            "file is empty; cannot infer a schema", file=str(path)
+            "input is empty; cannot infer a schema", file=label
         )
     if has_header:
         header, data_rows = tuple(rows[0]), rows[1:]
@@ -87,9 +158,21 @@ def read_csv(
         first_line = 1
     if not header:
         raise InputError(
-            "header row has no columns", file=str(path), row=1
+            "header row has no columns", file=label, row=1
         )
-    relation = Relation(name or path.stem, header)
+    if len(set(header)) != len(header):
+        seen: set[str] = set()
+        duplicates = sorted(
+            {column for column in header if column in seen or seen.add(column)}
+        )
+        raise InputError(
+            "duplicate column names in header; rename the columns so every "
+            "one is unique",
+            file=label,
+            row=1,
+            duplicates=duplicates,
+        )
+    relation = Relation(name or default_name, header)
     converted = []
     for line_number, row in enumerate(data_rows, start=first_line):
         if len(row) != len(header):
@@ -100,7 +183,7 @@ def read_csv(
             else:
                 raise InputError(
                     f"expected {len(header)} fields, got {len(row)}",
-                    file=str(path),
+                    file=label,
                     row=line_number,
                     columns=len(header),
                 )

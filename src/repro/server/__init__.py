@@ -1,0 +1,31 @@
+"""``repro serve`` — the multi-tenant normalization-as-a-service daemon.
+
+ROADMAP item 1.  A stdlib-only asyncio HTTP/JSON server that keeps
+per-tenant incremental-normalization sessions hot: upload a CSV once,
+then stream change batches and read schema/DDL/migration views without
+ever paying rediscovery.  See ``docs/SERVER.md`` for the protocol.
+
+Layers (import order matters — lowest first):
+
+* :mod:`repro.server.protocol` — HTTP/1.1 + JSON wire format,
+* :mod:`repro.server.sessions` — per-tenant state, LRU/expiry,
+  journal-backed durability,
+* :mod:`repro.server.app` — routing, fairness gate, drain lifecycle,
+* :mod:`repro.server.client` — the blocking client (``repro submit``,
+  tests, benchmarks).
+"""
+
+from repro.server.app import ReproServer, ServerConfig, serve
+from repro.server.client import ReproClient, ServerError
+from repro.server.sessions import Session, SessionOptions, SessionRegistry
+
+__all__ = [
+    "ReproClient",
+    "ReproServer",
+    "ServerConfig",
+    "ServerError",
+    "Session",
+    "SessionOptions",
+    "SessionRegistry",
+    "serve",
+]

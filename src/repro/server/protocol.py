@@ -1,0 +1,241 @@
+"""Minimal HTTP/1.1 + JSON protocol layer for ``repro serve``.
+
+The daemon speaks just enough HTTP/1.1 for real clients — request line,
+headers, ``Content-Length`` bodies, keep-alive — over plain asyncio
+streams.  No framework, no dependency: the whole wire format the server
+understands fits in this module, and ``docs/SERVER.md`` documents it.
+
+Deliberate restrictions (each one rejected with a structured status
+instead of undefined behaviour):
+
+* ``Transfer-Encoding: chunked`` requests → 501 (bodies must carry
+  ``Content-Length``; every supported client does),
+* header blocks over :data:`MAX_HEADER_BYTES` → 431,
+* bodies over the server's configured limit → 413,
+* anything else malformed → 400.
+
+Responses are always framed with ``Content-Length`` so keep-alive needs
+no chunking on the way out either.  JSON is the payload language of
+every endpoint except the raw SQL/text views, and
+:class:`ProtocolError` is the module's one exception: it carries the
+status code the connection loop turns into a response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "MAX_HEADER_BYTES",
+    "ProtocolError",
+    "error_payload",
+    "Request",
+    "Response",
+    "STATUS_REASONS",
+    "json_response",
+    "read_request",
+    "text_response",
+    "write_response",
+]
+
+#: request line + header block ceiling; a client that needs more is
+#: confused or hostile
+MAX_HEADER_BYTES = 32 * 1024
+
+#: reason phrases for every status the server emits
+STATUS_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+_SERVER_NAME = "repro-serve"
+
+
+class ProtocolError(Exception):
+    """A request the protocol layer refuses; carries the HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(message)
+
+
+@dataclass(slots=True)
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self):
+        """The body parsed as JSON; 400 on anything else."""
+        if not self.body:
+            raise ProtocolError(400, "request body must be a JSON document")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(
+                400, f"request body is not valid JSON: {exc}"
+            ) from None
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        return self.query.get(name, default)
+
+
+@dataclass(slots=True)
+class Response:
+    """One response about to be framed onto the wire."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+def json_response(payload, status: int = 200) -> Response:
+    """A JSON response with deterministic serialization.
+
+    ``sort_keys`` keeps the byte stream reproducible — differential
+    tests diff raw response bodies against offline-CLI artifacts.
+    """
+    body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+    return Response(status=status, body=body + b"\n")
+
+
+def text_response(
+    text: str, status: int = 200, content_type: str = "text/plain"
+) -> Response:
+    return Response(
+        status=status,
+        body=text.encode("utf-8"),
+        content_type=f"{content_type}; charset=utf-8",
+    )
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Request | None:
+    """Parse one request off the stream; ``None`` on a clean EOF.
+
+    A clean EOF before any byte of a request line means the client hung
+    up between keep-alive requests — not an error.  EOF in the middle
+    of a request is a 400.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(400, "connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(431, "request header block too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(431, "request header block too large")
+
+    try:
+        head_text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes all
+        raise ProtocolError(400, "undecodable request head") from None
+    lines = head_text.split("\r\n")
+    request_line = lines[0]
+    parts = request_line.split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(400, f"malformed request line {request_line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(400, f"unsupported protocol version {version!r}")
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ProtocolError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError(
+            501, "chunked request bodies are not supported; "
+            "send Content-Length"
+        )
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise ProtocolError(
+                400, f"malformed Content-Length {length_text!r}"
+            ) from None
+        if length < 0:
+            raise ProtocolError(400, "negative Content-Length")
+        if length > max_body_bytes:
+            raise ProtocolError(
+                413,
+                f"request body of {length} bytes exceeds the server's "
+                f"{max_body_bytes}-byte limit",
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(400, "connection closed mid-body") from None
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response, keep_alive: bool
+) -> None:
+    """Frame and flush one response."""
+    reason = STATUS_REASONS.get(response.status, "Unknown")
+    head = [
+        f"HTTP/1.1 {response.status} {reason}",
+        f"Server: {_SERVER_NAME}",
+        f"Content-Type: {response.content_type}",
+        f"Content-Length: {len(response.body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in response.headers.items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(response.body)
+    await writer.drain()
+
+
+def error_payload(status: int, code: str, message: str, **extra) -> dict:
+    """The uniform error body: ``{"error": {...}}``."""
+    payload = {"code": code, "message": message, "status": status}
+    payload.update(extra)
+    return {"error": payload}

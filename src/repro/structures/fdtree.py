@@ -37,10 +37,12 @@ sorted-path DFS order exactly, so every downstream consumer sees
 byte-identical covers (pinned by ``tests/test_fdtree_differential.py``).
 
 Engine selection mirrors the kernel registry: ``set_engine()`` /
-``REPRO_FDTREE`` choose between ``level`` (this module, the default)
-and ``legacy`` (:mod:`repro.structures.fdtree_legacy`, the recursive
-baseline); the CLI exposes ``--fdtree`` and the worker pool ships the
-resolved engine name with every task.
+``REPRO_FDTREE`` choose between ``level`` (this module, the default),
+``legacy`` (:mod:`repro.structures.fdtree_legacy`, the recursive
+baseline), and ``auto`` (per-tree width dispatch: the trie at or below
+:data:`AUTO_LEGACY_MAX_ATTRIBUTES` attributes, levels above — see
+:func:`resolve_engine`); the CLI exposes ``--fdtree`` and the worker
+pool ships the requested engine name with every task.
 """
 
 from __future__ import annotations
@@ -54,14 +56,22 @@ from repro import kernels
 from repro.model.attributes import bits_of, iter_bits
 
 __all__ = [
+    "AUTO_LEGACY_MAX_ATTRIBUTES",
     "ENGINE_CHOICES",
     "FDTree",
     "engine_name",
     "ensure_engine",
+    "resolve_engine",
     "set_engine",
 ]
 
-ENGINE_CHOICES = ("level", "legacy")
+ENGINE_CHOICES = ("level", "legacy", "auto")
+
+#: ``auto`` picks the recursive trie at or below this attribute count —
+#: the narrow-lattice regime where per-level sweep setup dominates and
+#: the trie's pointer walk is measurably faster (BENCH_fdtree.json:
+#: ~1.3x on ≤12-attribute relations) — and the level engine above it.
+AUTO_LEGACY_MAX_ATTRIBUTES = 12
 
 # Programmatic override (set_engine); None means "consult REPRO_FDTREE".
 _requested: str | None = None
@@ -95,9 +105,13 @@ _LEVELS_ROWS = "kernel_lattice_levels_rows"
 def set_engine(name: str | None) -> None:
     """Select the FD-tree engine programmatically (the ``--fdtree`` flag).
 
-    ``name`` is ``level`` / ``legacy``, or ``None`` to drop the override
-    and fall back to ``REPRO_FDTREE``.  The choice applies to trees
-    constructed afterwards; existing trees keep their engine.
+    ``name`` is ``level`` / ``legacy`` / ``auto``, or ``None`` to drop
+    the override and fall back to ``REPRO_FDTREE``.  ``auto`` defers
+    the choice to construction time: relations at or below
+    :data:`AUTO_LEGACY_MAX_ATTRIBUTES` attributes get the recursive
+    trie, wider ones the level engine — closing the known narrow-lattice
+    gap without giving up the wide-lattice sweeps.  The choice applies
+    to trees constructed afterwards; existing trees keep their engine.
     """
     global _requested
     if name is not None:
@@ -113,7 +127,12 @@ def set_engine(name: str | None) -> None:
 
 
 def engine_name() -> str:
-    """The engine new trees will use: ``"level"`` or ``"legacy"``."""
+    """The requested engine: ``"level"``, ``"legacy"``, or ``"auto"``.
+
+    ``"auto"`` resolves per tree at construction time (see
+    :func:`resolve_engine`); it is reported as-is so pool workers
+    re-pin the *policy*, not one width's resolution of it.
+    """
     if _requested is not None:
         return _requested
     raw = os.environ.get("REPRO_FDTREE", "").strip().lower()
@@ -138,6 +157,24 @@ def ensure_engine(name: str) -> None:
     """
     if name != engine_name():
         set_engine(name)
+
+
+def resolve_engine(num_attributes: int) -> str:
+    """The concrete engine a tree of this width gets: level or legacy.
+
+    ``auto`` resolves on the attribute count alone, so the resolution
+    is a pure function of the relation — identical in the parent, in
+    every pool worker, and across restarts (the byte-identity contract
+    does not depend on where a tree is built).
+    """
+    name = engine_name()
+    if name == "auto":
+        return (
+            "legacy"
+            if num_attributes <= AUTO_LEGACY_MAX_ATTRIBUTES
+            else "level"
+        )
+    return name
 
 
 class _Level:
@@ -181,7 +218,7 @@ class FDTree:
         if (
             cls is FDTree
             and num_attributes is not None
-            and engine_name() == "legacy"
+            and resolve_engine(int(num_attributes)) == "legacy"
         ):
             from repro.structures.fdtree_legacy import LegacyFDTree
 

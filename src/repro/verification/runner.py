@@ -566,7 +566,7 @@ def build_verify_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--fdtree",
         default=None,
-        choices=("level", "legacy"),
+        choices=("level", "legacy", "auto"),
         help="FD-tree lattice engine (default: $REPRO_FDTREE or level); "
         "the campaign's oracles and subjects all run under the selected "
         "engine",

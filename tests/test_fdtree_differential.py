@@ -638,6 +638,83 @@ class TestEngineSelection:
 
 
 # ----------------------------------------------------------------------
+# Adaptive engine: REPRO_FDTREE=auto picks per relation width
+# ----------------------------------------------------------------------
+class TestAutoEngine:
+    """``auto`` = trie at ≤ AUTO_LEGACY_MAX_ATTRIBUTES attrs, levels above."""
+
+    @pytest.fixture(autouse=True)
+    def _reset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FDTREE", raising=False)
+        yield
+        fdtree.set_engine(None)
+
+    def test_default_stays_level(self):
+        fdtree.set_engine(None)
+        assert fdtree.engine_name() == "level"
+
+    def test_auto_dispatches_on_width(self):
+        fdtree.set_engine("auto")
+        assert fdtree.engine_name() == "auto"
+        threshold = fdtree.AUTO_LEGACY_MAX_ATTRIBUTES
+        assert isinstance(FDTree(threshold), LegacyFDTree)
+        assert isinstance(FDTree(1), LegacyFDTree)
+        wide = FDTree(threshold + 1)
+        assert type(wide) is FDTree
+        assert wide.engine == "level"
+
+    def test_resolve_engine_is_pure_in_width(self):
+        fdtree.set_engine("auto")
+        threshold = fdtree.AUTO_LEGACY_MAX_ATTRIBUTES
+        assert fdtree.resolve_engine(threshold) == "legacy"
+        assert fdtree.resolve_engine(threshold + 1) == "level"
+        fdtree.set_engine("legacy")
+        assert fdtree.resolve_engine(threshold + 1) == "legacy"
+        fdtree.set_engine("level")
+        assert fdtree.resolve_engine(1) == "level"
+
+    def test_env_selects_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FDTREE", "auto")
+        fdtree.set_engine(None)
+        assert fdtree.engine_name() == "auto"
+        assert isinstance(FDTree(4), LegacyFDTree)
+
+    def test_ensure_engine_pins_auto_policy(self):
+        """Workers re-pin the *policy*; resolution happens per tree."""
+        fdtree.set_engine("level")
+        fdtree.ensure_engine("auto")
+        assert fdtree.engine_name() == "auto"
+        assert isinstance(FDTree(3), LegacyFDTree)
+        assert type(FDTree(40)) is FDTree
+
+    @pytest.mark.parametrize("width", [5, 13])
+    def test_auto_cover_identical_to_level(self, width):
+        from repro.datagen.random_tables import random_instance
+        from repro.discovery.hyfd.hyfd import HyFD
+
+        instance = random_instance(23, width, 120, domain_size=2)
+        fdtree.set_engine("level")
+        reference = sorted(
+            (fd.lhs, fd.rhs) for fd in HyFD().discover(instance)
+        )
+        instance.invalidate_caches()
+        fdtree.set_engine("auto")
+        adaptive = sorted(
+            (fd.lhs, fd.rhs) for fd in HyFD().discover(instance)
+        )
+        assert adaptive == reference
+
+    def test_verify_cli_accepts_auto(self):
+        from repro.verification.runner import main_verify
+
+        rc = main_verify(
+            ["--seeds", "1", "--rows", "10", "--quiet", "--fdtree", "auto"]
+        )
+        assert rc == 0
+        assert fdtree.engine_name() == "auto"
+
+
+# ----------------------------------------------------------------------
 # Kernel sweep oracles: pybackend vs numpy vs the tree's inlined loops
 # ----------------------------------------------------------------------
 class TestLatticeKernelOracles:

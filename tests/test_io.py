@@ -150,6 +150,99 @@ class TestCsvHardening:
             read_csv(tmp_path / "absent.csv")
 
 
+class TestCsvInMemorySources:
+    """read_csv over bytes / file-like sources (the server ingest path)."""
+
+    def test_bytes_source(self):
+        instance = read_csv(b"a,b\n1,2\n3,4\n", name="t")
+        assert instance.name == "t"
+        assert instance.columns == ("a", "b")
+        assert list(instance.iter_rows()) == [("1", "2"), ("3", "4")]
+
+    def test_bytes_default_name(self):
+        assert read_csv(b"a\n1\n").name == "relation"
+
+    def test_bytes_matches_file(self, tmp_path):
+        text = "a,b,c\n1,2,\n4,,6\n"
+        path = tmp_path / "t.csv"
+        path.write_text(text, encoding="utf-8")
+        from_path = read_csv(path)
+        from_bytes = read_csv(text.encode("utf-8"), name="t")
+        assert from_bytes.columns == from_path.columns
+        assert list(from_bytes.iter_rows()) == list(from_path.iter_rows())
+
+    def test_binary_stream_source(self):
+        import io
+
+        instance = read_csv(io.BytesIO(b"a,b\nx,y\n"), name="s")
+        assert list(instance.iter_rows()) == [("x", "y")]
+
+    def test_text_stream_source(self):
+        import io
+
+        instance = read_csv(io.StringIO("a,b\nx,y\n"), name="s")
+        assert list(instance.iter_rows()) == [("x", "y")]
+
+    def test_stream_name_used_for_relation(self, tmp_path):
+        path = tmp_path / "emp.csv"
+        path.write_text("a\n1\n", encoding="utf-8")
+        with open(path, "rb") as handle:
+            assert read_csv(handle).name == "emp"
+
+    def test_bytes_bom_stripped(self):
+        instance = read_csv(b"\xef\xbb\xbfa,b\n1,2\n")
+        assert instance.columns == ("a", "b")
+
+    def test_bytes_undecodable_strict(self):
+        from repro.runtime.errors import InputError
+
+        with pytest.raises(InputError, match="not valid UTF-8"):
+            read_csv(b"a,b\n\xff\xfe,2\n")
+
+    def test_bytes_undecodable_pad(self):
+        instance = read_csv(b"a,b\n\xff,2\n", on_error="pad")
+        assert list(instance.iter_rows()) == [("�", "2")]
+
+    def test_empty_bytes_rejected(self):
+        from repro.runtime.errors import InputError
+
+        with pytest.raises(InputError, match="empty"):
+            read_csv(b"")
+
+    def test_unsupported_source_rejected(self):
+        from repro.runtime.errors import InputError
+
+        with pytest.raises(InputError, match="unsupported CSV source"):
+            read_csv(12345)
+
+
+class TestDuplicateHeader:
+    """Duplicate column names are an InputError, never silently renamed."""
+
+    def test_duplicate_header_rejected(self, tmp_path):
+        from repro.runtime.errors import InputError
+
+        path = tmp_path / "t.csv"
+        path.write_text("a,b,a\n1,2,3\n", encoding="utf-8")
+        with pytest.raises(InputError, match="duplicate column names"):
+            read_csv(path)
+
+    def test_duplicate_header_carries_context(self):
+        from repro.runtime.errors import InputError
+
+        with pytest.raises(InputError) as info:
+            read_csv(b"x,y,x,y,z\n1,2,3,4,5\n", name="t")
+        assert info.value.context["row"] == 1
+        assert info.value.context["duplicates"] == ["x", "y"]
+
+    def test_duplicate_header_rejected_under_pad(self):
+        # on_error policies repair *rows*; a broken header has no repair.
+        from repro.runtime.errors import InputError
+
+        with pytest.raises(InputError, match="duplicate column names"):
+            read_csv(b"a,a\n1,2\n", on_error="pad")
+
+
 class TestBundledDatasets:
     def test_address_shape(self):
         instance = address_example()

@@ -1,0 +1,250 @@
+"""End-to-end smoke of the daemon as a real subprocess.
+
+Three contracts only a real process can prove:
+
+* **CLI parity** — a full upload → batch → DDL/migration round trip
+  through ``repro serve`` + ``repro submit`` produces files
+  byte-identical to the offline ``repro apply-batch`` run on the same
+  inputs (the same diff the CI ``server-smoke`` job performs);
+* **clean drain** — SIGTERM exits 0 and leaves no ``repro-shm-*``
+  segments behind;
+* **crash durability** — ``kill -9`` mid-stream, restart with the same
+  ``--resume-dir``, and the session revives to the identical cover via
+  its journal: the stats counters must show ``journal_hits >= 1`` and
+  ``discovery_runs == 0`` in the restarted daemon (no rediscovery).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+CSV_TEXT = "emp,dept,mgr\n1,sales,ann\n2,sales,ann\n3,eng,bob\n"
+CHANGES = {
+    "format": "repro/changelog",
+    "version": 1,
+    "batches": [
+        {"inserts": [["4", "eng", "bob"], ["5", "ops", "cat"]], "deletes": [0]},
+        {"inserts": [["6", "ops", "cat"]]},
+    ],
+}
+
+
+def _shm_segments(pid: int) -> list[str]:
+    shm = Path("/dev/shm")
+    if not shm.exists():  # pragma: no cover - non-Linux
+        return []
+    return [p.name for p in shm.glob(f"repro-shm-{pid}-*")]
+
+
+class Daemon:
+    """Spawn ``repro serve`` and wait for its announce line."""
+
+    def __init__(self, tmp_path: Path, *extra_args: str, tcp: bool = True):
+        self.log = tmp_path / f"serve-{len(list(tmp_path.glob('serve-*')))}.log"
+        self.handle = open(self.log, "w", encoding="utf-8")
+        env = dict(os.environ, PYTHONPATH=REPO_SRC, PYTHONUNBUFFERED="1")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+            stdout=self.handle,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+        pattern = r"listening on http://[^:]+:(\d+)" if tcp else (
+            r"listening on unix:"
+        )
+        match = self._await(pattern)
+        self.port = int(match.group(1)) if tcp else 0
+
+    def _await(self, pattern: str, timeout: float = 30.0) -> "re.Match":
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            text = self.log.read_text(encoding="utf-8")
+            match = re.search(pattern, text)
+            if match:
+                return match
+            if self.proc.poll() is not None:
+                raise AssertionError(f"daemon died during startup:\n{text}")
+            time.sleep(0.05)
+        raise AssertionError(
+            f"daemon never printed {pattern!r}:\n"
+            f"{self.log.read_text(encoding='utf-8')}"
+        )
+
+    def submit(self, *args: str) -> subprocess.CompletedProcess:
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        return subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "submit",
+                "--port",
+                str(self.port),
+                *args,
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+
+    def terminate(self) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        code = self.proc.wait(timeout=30)
+        self.handle.close()
+        return code
+
+    def kill9(self) -> None:
+        self.proc.kill()
+        self.proc.wait(timeout=30)
+        self.handle.close()
+
+
+@pytest.fixture()
+def workdir(tmp_path):
+    (tmp_path / "data.csv").write_text(CSV_TEXT, encoding="utf-8")
+    (tmp_path / "changes.json").write_text(
+        json.dumps(CHANGES), encoding="utf-8"
+    )
+    return tmp_path
+
+
+def _offline_reference(workdir: Path) -> tuple[str, str]:
+    """The offline CLI's DDL + migration bytes for the same stream."""
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "apply-batch",
+            str(workdir / "data.csv"),
+            "--changes",
+            str(workdir / "changes.json"),
+            "--ddl",
+            str(workdir / "offline.sql"),
+            "--migration",
+            str(workdir / "offline_mig.sql"),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return (
+        (workdir / "offline.sql").read_text(encoding="utf-8"),
+        (workdir / "offline_mig.sql").read_text(encoding="utf-8"),
+    )
+
+
+def test_served_bytes_match_offline_cli_and_sigterm_drains(workdir):
+    daemon = Daemon(workdir, "--resume-dir", str(workdir / "state"))
+    try:
+        completed = daemon.submit(
+            str(workdir / "data.csv"),
+            "--session",
+            "s1",
+            "--changes",
+            str(workdir / "changes.json"),
+            "--ddl",
+            str(workdir / "served.sql"),
+            "--migration",
+            str(workdir / "served_mig.sql"),
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "session s1 created" in completed.stdout
+
+        offline_ddl, offline_migration = _offline_reference(workdir)
+        served_ddl = (workdir / "served.sql").read_text(encoding="utf-8")
+        served_migration = (workdir / "served_mig.sql").read_text(
+            encoding="utf-8"
+        )
+        assert served_ddl == offline_ddl
+        assert served_migration == offline_migration
+    finally:
+        pid = daemon.proc.pid
+        code = daemon.terminate()
+    assert code == 0, daemon.log.read_text(encoding="utf-8")
+    assert _shm_segments(pid) == []
+
+
+def test_kill9_restart_revives_from_journal_without_rediscovery(workdir):
+    state = str(workdir / "state")
+    daemon = Daemon(workdir, "--resume-dir", state)
+    try:
+        completed = daemon.submit(
+            str(workdir / "data.csv"),
+            "--session",
+            "s1",
+            "--changes",
+            str(workdir / "changes.json"),
+            "--ddl",
+            str(workdir / "before.sql"),
+        )
+        assert completed.returncode == 0, completed.stderr
+    finally:
+        daemon.kill9()  # no drain, no goodbye — the crash case
+
+    restarted = Daemon(workdir, "--resume-dir", state)
+    try:
+        completed = restarted.submit(
+            "--session", "s1", "--ddl", str(workdir / "after.sql"), "--stats"
+        )
+        assert completed.returncode == 0, completed.stderr
+        stats = json.loads(
+            completed.stdout[completed.stdout.index("{"):]
+        )["sessions"]
+        # The journal-hit counters are the proof of "no rediscovery".
+        assert stats["journal_hits"] >= 1
+        assert stats["discovery_runs"] == 0
+        before = (workdir / "before.sql").read_text(encoding="utf-8")
+        after = (workdir / "after.sql").read_text(encoding="utf-8")
+        assert before == after
+    finally:
+        code = restarted.terminate()
+    assert code == 0
+
+
+def test_submit_maps_server_errors_to_cli_exit_codes(workdir):
+    daemon = Daemon(workdir, "--resume-dir", str(workdir / "state"))
+    try:
+        completed = daemon.submit("--session", "ghost", "--ddl", "-")
+        assert completed.returncode == 2  # 404 → input-error family
+        assert "error" in completed.stderr
+    finally:
+        assert daemon.terminate() == 0
+
+
+def test_unix_socket_transport(workdir):
+    socket_path = str(workdir / "repro.sock")
+    daemon = Daemon(
+        workdir, "--socket", socket_path, "--resume-dir",
+        str(workdir / "state"), tcp=False,
+    )
+    try:
+        completed = daemon.submit(
+            str(workdir / "data.csv"),
+            "--unix-socket",
+            socket_path,
+            "--session",
+            "s1",
+            "--ddl",
+            "-",
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "CREATE TABLE" in completed.stdout
+    finally:
+        assert daemon.terminate() == 0
+    assert not Path(socket_path).exists()

@@ -17,7 +17,12 @@ Layers (import order matters — lowest first):
 
 from repro.server.app import ReproServer, ServerConfig, serve
 from repro.server.client import ReproClient, ServerError
-from repro.server.sessions import Session, SessionOptions, SessionRegistry
+from repro.server.sessions import (
+    Session,
+    SessionExistsError,
+    SessionOptions,
+    SessionRegistry,
+)
 
 __all__ = [
     "ReproClient",
@@ -25,6 +30,7 @@ __all__ = [
     "ServerConfig",
     "ServerError",
     "Session",
+    "SessionExistsError",
     "SessionOptions",
     "SessionRegistry",
     "serve",

@@ -7,9 +7,11 @@ glues them together under asyncio:
 * **Compute gate.**  The core library is single-threaded by design —
   the runtime governor tracks the active budget in a process-global,
   and the worker pool is one shared resource — so heavy work
-  (discovery, revival, batch maintenance) runs one-at-a-time in a
+  (discovery, revival, batch maintenance) *and every engine read*
+  (schema/DDL/migration/normalize views) runs one-at-a-time in a
   worker thread via :func:`asyncio.to_thread` behind a global FIFO
-  :class:`asyncio.Lock`.  Fairness comes from the per-tenant
+  :class:`asyncio.Lock`; a read can therefore never observe a
+  half-applied batch.  Fairness comes from the per-tenant
   :class:`asyncio.Semaphore` *in front* of that lock: a tenant can hold
   at most one slot in the gate's queue, so a burst of 50 requests from
   one tenant cannot starve another tenant's single request — the lock
@@ -63,7 +65,13 @@ from repro.server.protocol import (
     text_response,
     write_response,
 )
-from repro.server.sessions import Session, SessionOptions, SessionRegistry
+from repro.server.sessions import (
+    Session,
+    SessionExistsError,
+    SessionOptions,
+    SessionRegistry,
+    validate_name,
+)
 
 __all__ = ["ServerConfig", "ReproServer", "serve"]
 
@@ -136,6 +144,7 @@ class ReproServer:
     # ------------------------------------------------------------------
     async def _session(self, tenant: str, session_id: str) -> Session:
         """In-memory lookup, falling back to a revival from disk."""
+        validate_name("session id", session_id)
         session = self.registry.get(tenant, session_id)
         if session is not None:
             return session
@@ -143,12 +152,26 @@ class ReproServer:
             # Revival replays the journal (or, once, rediscovers); it is
             # heavy work and goes through the gate like everything else.
             session = await self._run_heavy(
-                tenant, self.registry.revive, tenant, session_id
+                tenant, self._lookup_or_revive, tenant, session_id
             )
             return session
         raise _NotFound(
             f"no session {session_id!r} for tenant {tenant!r}"
         )
+
+    def _lookup_or_revive(self, tenant: str, session_id: str) -> Session:
+        """Runs under the compute gate: re-check, then revive.
+
+        Between the loop-side ``registry.get`` miss and this call
+        another request may already have revived the session; reviving
+        again would register a duplicate engine sharing the same
+        changelog/journal files.  The re-check under the gate makes
+        revival once-only.
+        """
+        existing = self.registry.get(tenant, session_id)
+        if existing is not None:
+            return existing
+        return self.registry.revive(tenant, session_id)
 
     # ------------------------------------------------------------------
     # Connection loop
@@ -197,6 +220,10 @@ class ReproServer:
     async def _dispatch(self, request: Request) -> Response:
         tenant = request.headers.get(TENANT_HEADER, DEFAULT_TENANT)
         try:
+            # The tenant header becomes a resume-dir path component; a
+            # traversal like '../../target' must die here, before any
+            # route can hand it to the registry.
+            validate_name("tenant", tenant)
             if self._draining:
                 return json_response(
                     error_payload(
@@ -228,6 +255,13 @@ class ReproServer:
                 retryable=self.registry.resume_dir is not None,
             )
             return json_response(payload, status=429)
+        except SessionExistsError as exc:
+            # Both the pre-check and the registry's own duplicate
+            # detection (reached on a create/create race) land here, so
+            # the conflict is 409 regardless of timing.
+            return json_response(
+                error_payload(409, "session_exists", str(exc)), status=409
+            )
         except InputError as exc:
             extra = getattr(exc, "context", None) or {}
             return json_response(
@@ -266,13 +300,13 @@ class ReproServer:
             if method == "POST":
                 return await self._create_session(tenant, request)
             self._need(method, "GET")
-            return json_response(
-                {
-                    "sessions": [
-                        s.info() for s in self.registry.sessions_of(tenant)
-                    ]
-                }
+            infos = await self._run_heavy(
+                tenant,
+                lambda: [
+                    s.info() for s in self.registry.sessions_of(tenant)
+                ],
             )
+            return json_response({"sessions": infos})
 
         parts = path.split("/")
         # /v1/sessions/{sid}[/{verb}]
@@ -307,22 +341,19 @@ class ReproServer:
         options = SessionOptions.from_params(request.query)
         name = request.param("name") or "relation"
         session_id = request.param("session")
-        existing = (
-            session_id is not None
-            and (
+        if session_id is not None:
+            validate_name("session id", session_id)
+            if (
                 self.registry.get(tenant, session_id) is not None
                 or self.registry.has_persisted(tenant, session_id)
-            )
-        )
-        if existing:
-            return json_response(
-                error_payload(
-                    409,
-                    "session_exists",
-                    f"session {session_id!r} already exists for this tenant",
-                ),
-                status=409,
-            )
+            ):
+                # Fast-path refusal; a create/create race that slips
+                # past this raises the same SessionExistsError from
+                # registry.create, so both paths surface as 409.
+                raise SessionExistsError(
+                    f"session {session_id!r} already exists for tenant "
+                    f"{tenant!r}"
+                )
         session = await self._run_heavy(
             tenant,
             self.registry.create,
@@ -358,26 +389,34 @@ class ReproServer:
                 self.registry.delete(session)
                 return Response(status=204)
             self._need(method, "GET")
-            return json_response(session.info())
+            return json_response(await self._run_heavy(tenant, session.info))
 
+        # Reads go through the gate too: a /batch for the same session
+        # mutates the engine in a worker thread, and the gate is what
+        # keeps these views from observing a half-applied batch.
         if verb == "schema":
             self._need(method, "GET")
             if request.param("format") == "text":
-                return text_response(session.engine.schema.to_str() + "\n")
-            return json_response(schema_to_json(session.engine.schema))
+                text = await self._run_heavy(
+                    tenant, lambda: session.engine.schema.to_str() + "\n"
+                )
+                return text_response(text)
+            payload = await self._run_heavy(
+                tenant, lambda: schema_to_json(session.engine.schema)
+            )
+            return json_response(payload)
         if verb == "ddl":
             self._need(method, "GET")
-            return text_response(
-                session.engine.ddl(), content_type="application/sql"
-            )
+            ddl = await self._run_heavy(tenant, lambda: session.engine.ddl())
+            return text_response(ddl, content_type="application/sql")
         if verb == "migration":
             self._need(method, "GET")
-            return text_response(
-                session.migration_sql(), content_type="application/sql"
-            )
+            sql = await self._run_heavy(tenant, session.migration_sql)
+            return text_response(sql, content_type="application/sql")
         if verb == "normalize":
             self._need(method, "POST")
-            return json_response(self._normalize_view(session))
+            view = await self._run_heavy(tenant, self._normalize_view, session)
+            return json_response(view)
         if verb == "batch":
             self._need(method, "POST")
             return await self._apply_batch(tenant, session, request)

@@ -21,6 +21,7 @@ import http.client
 import json
 import socket
 import time
+from urllib.parse import urlencode
 
 __all__ = ["ReproClient", "ServerError"]
 
@@ -174,7 +175,9 @@ class ReproClient:
         params = {"name": name, **options}
         if session is not None:
             params["session"] = session
-        query = "&".join(f"{k}={v}" for k, v in params.items())
+        # urlencode: delimiters like '\t', ';', '&', '%' must survive
+        # the query string intact (the server parse_qsl-decodes them).
+        query = urlencode(params)
         return self._json(
             "POST",
             f"/v1/sessions?{query}",

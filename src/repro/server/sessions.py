@@ -70,6 +70,7 @@ from repro.runtime.governor import Budget, parse_duration, parse_memory
 
 __all__ = [
     "Session",
+    "SessionExistsError",
     "SessionOptions",
     "SessionRegistry",
 ]
@@ -93,6 +94,10 @@ def validate_name(kind: str, value: str) -> str:
             "[A-Za-z0-9._-], starting with a letter or digit"
         )
     return value
+
+
+class SessionExistsError(InputError):
+    """Duplicate ``(tenant, session_id)``; the app maps this to 409."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -434,7 +439,7 @@ class SessionRegistry:
         if (tenant, session_id) in self._sessions or self._persisted_dir(
             tenant, session_id
         ):
-            raise InputError(
+            raise SessionExistsError(
                 f"session {session_id!r} already exists for tenant "
                 f"{tenant!r}",
             )
@@ -663,6 +668,12 @@ class SessionRegistry:
     def _session_dir(self, tenant: str, session_id: str) -> Path | None:
         if self.resume_dir is None:
             return None
+        # Every caller-supplied identifier becomes a path component
+        # here; validating at the choke point means no lookup path
+        # (has_persisted/revive/delete) can escape resume_dir even if a
+        # route forgets to validate first.
+        validate_name("tenant", tenant)
+        validate_name("session id", session_id)
         return self.resume_dir / tenant / session_id
 
     def _persisted_dir(self, tenant: str, session_id: str) -> Path | None:

@@ -36,10 +36,11 @@ from repro.server import (
     ReproServer,
     ServerConfig,
     ServerError,
+    SessionExistsError,
     SessionOptions,
     SessionRegistry,
 )
-from repro.server.protocol import ProtocolError, read_request
+from repro.server.protocol import ProtocolError, Request, read_request
 
 CSV = b"emp,dept,mgr\n1,sales,ann\n2,sales,ann\n3,eng,bob\n"
 
@@ -170,7 +171,8 @@ class TestSessionRegistry:
     def test_duplicate_session_id_rejected(self, tmp_path):
         registry = self._registry(tmp_path)
         registry.create("t1", CSV, "emp", SessionOptions(), session_id="s1")
-        with pytest.raises(InputError):
+        # The dedicated conflict type is what the app maps to 409.
+        with pytest.raises(SessionExistsError):
             registry.create(
                 "t1", CSV, "emp", SessionOptions(), session_id="s1"
             )
@@ -180,6 +182,17 @@ class TestSessionRegistry:
         for bad in ("", "../x", "a b", "x" * 65, ".hidden"):
             with pytest.raises(InputError):
                 registry.create(bad, CSV, "emp", SessionOptions())
+
+    def test_lookup_paths_reject_traversal(self, tmp_path):
+        """has_persisted/revive must refuse hostile identifiers too —
+        not just create — or they become path components."""
+        registry = self._registry(tmp_path)
+        registry.create("t", CSV, "emp", SessionOptions(), "s1")
+        for tenant, sid in (("../t", "s1"), ("t", "../s1"), ("t", "..")):
+            with pytest.raises(InputError):
+                registry.has_persisted(tenant, sid)
+            with pytest.raises(InputError):
+                registry.revive(tenant, sid)
 
     def test_lru_eviction_skips_busy_sessions(self):
         registry = self._registry(max_sessions=2)
@@ -458,6 +471,95 @@ class TestEndpoints:
             stats = client.stats()["sessions"]
             assert stats["journal_hits"] >= 1
             assert stats["discovery_runs"] == 2  # one per created session
+
+    def test_hostile_identifiers_cannot_escape_resume_dir(self, tmp_path):
+        """Traversal in the tenant header or URL session id is a 400 on
+        *every* route — lookup, revive, and DELETE included — so no
+        request can read or rmtree outside --resume-dir."""
+        state = tmp_path / "state"
+        victim = tmp_path / "victim" / "s1"
+        victim.mkdir(parents=True)
+        (victim / "meta.json").write_text("{}", encoding="utf-8")
+        with ServerThread(resume_dir=str(state)) as harness:
+            evil = ReproClient(
+                "127.0.0.1", harness.server.bound_port, tenant="../victim"
+            )
+            with pytest.raises(ServerError) as excinfo:
+                evil.session_info("s1")
+            assert excinfo.value.status == 400
+            status, _, _ = evil.request("DELETE", "/v1/sessions/s1")
+            assert status == 400
+            client = harness.client()
+            # '%2e%2e' unquotes to '..' in the path segment
+            status, _, _ = client.request("DELETE", "/v1/sessions/%2e%2e")
+            assert status == 400
+            status, _, _ = client.request("GET", "/v1/sessions/%2e%2e/ddl")
+            assert status == 400
+        assert (victim / "meta.json").exists()
+
+    def test_duplicate_create_race_maps_to_409(self, tmp_path):
+        """Defeat the fast-path existence check the way a create/create
+        race would: the registry's own duplicate detection must surface
+        as the same 409, not a 400."""
+
+        async def run():
+            server = ReproServer(
+                ServerConfig(resume_dir=str(tmp_path / "state"))
+            )
+            request = Request(
+                method="POST",
+                target="/v1/sessions?session=s1&name=emp",
+                path="/v1/sessions",
+                query={"session": "s1", "name": "emp"},
+                headers={},
+                body=CSV,
+            )
+            first = await server._dispatch(request)
+            assert first.status == 201
+            # Blind the pre-check; only registry.create's check remains.
+            server.registry.get = lambda *a, **k: None
+            server.registry.has_persisted = lambda *a, **k: False
+            second = await server._dispatch(request)
+            assert second.status == 409
+            assert b"session_exists" in second.body
+
+        asyncio.run(run())
+
+    def test_concurrent_revival_revives_once(self, tmp_path):
+        """Two requests hitting an evicted session must share one
+        revival: a duplicate engine over the same changelog/journal
+        files would diverge on the next batch."""
+
+        async def run():
+            server = ReproServer(
+                ServerConfig(resume_dir=str(tmp_path / "state"))
+            )
+            await asyncio.to_thread(
+                server.registry.create,
+                "t", CSV, "emp", SessionOptions(), "s1",
+            )
+            server.registry.discard(server.registry.get("t", "s1"))
+            assert server.registry.get("t", "s1") is None
+            a, b = await asyncio.gather(
+                server._session("t", "s1"), server._session("t", "s1")
+            )
+            assert a is b
+            assert server.registry.counters["sessions_revived"] == 1
+
+        asyncio.run(run())
+
+    def test_delimiter_survives_query_encoding(self, tmp_path):
+        """Client-side urlencode: a tab delimiter must round-trip the
+        query string instead of corrupting the request target."""
+        with ServerThread(resume_dir=str(tmp_path / "state")) as harness:
+            client = harness.client()
+            tsv = CSV.replace(b",", b"\t")
+            info = client.create_session(
+                tsv, name="emp", session="s1", delimiter="\t"
+            )
+            assert info["options"]["delimiter"] == "\t"
+            assert info["rows"] == 3
+            assert len(info["columns"]) == 3
 
     def test_stats_and_health(self, tmp_path):
         with ServerThread(resume_dir=str(tmp_path / "state")) as harness:

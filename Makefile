@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: verify verify-parallel verify-kernels verify-lattice serve-smoke fuzz fuzz-faults fuzz-chaos fuzz-incremental fuzz-kernels fuzz-lattice bench bench-engine bench-fdtree bench-incremental bench-parallel bench-kernels bench-serve
+.PHONY: verify verify-parallel verify-kernels verify-lattice verify-spill serve-smoke fuzz fuzz-faults fuzz-chaos fuzz-incremental fuzz-kernels fuzz-lattice bench bench-engine bench-fdtree bench-incremental bench-parallel bench-kernels bench-serve bench-oocore
 
 # Tier-1 suite — the gate every change must keep green (see ROADMAP.md).
 verify:
@@ -25,6 +25,12 @@ verify-kernels:
 verify-lattice:
 	REPRO_FDTREE=legacy PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_fdtree_differential.py tests/test_lattice_metamorphic.py -m "not fuzz"
+
+# Tier-1 again with every encoded column forced onto the mmap spill
+# tier and chunked ingestion engaged (docs/STORAGE.md): proves the
+# whole pipeline is tier-oblivious, byte for byte.
+verify-spill:
+	REPRO_STORAGE=spill PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 # Daemon end-to-end smoke: real `repro serve` subprocess, upload →
 # batches → DDL via `repro submit`, byte-diffed against the offline
@@ -96,6 +102,12 @@ bench-parallel:
 # 1/4/16-tenant interleaved throughput (writes BENCH_serve.json).
 bench-serve:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_serve_latency.py --benchmark-only -q
+
+# Out-of-core scaling: peak RSS + wall-clock, memory tier vs spill
+# tier, at 1x/4x/16x of a notional budget, with DDL byte-identity
+# asserted at every scale (writes BENCH_oocore.json).
+bench-oocore:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_oocore.py --benchmark-only -q
 
 # Kernel backend comparison: partition-engine micro-benchmarks under
 # both backends (enforces the ≥5x large-preset gate, writes

@@ -1,0 +1,199 @@
+"""Out-of-core columnar store: peak RSS + wall-clock vs in-memory.
+
+The PR's promise is that discovery over a dataset whose encoded
+footprint exceeds the memory budget completes by *spilling* encoded
+columns to mmap-backed page files, with the encoder's in-heap staging
+bounded by O(chunk) instead of O(rows) — and produces byte-identical
+DDL.  This benchmark measures that directly:
+
+* three synthetic datasets sized at **1x / 4x / 16x** of a notional
+  256 KiB encoded-column budget (8 columns, int32 codes);
+* each dataset normalized twice in fresh subprocesses — once with the
+  default in-memory tier, once under ``REPRO_STORAGE=auto`` with the
+  spill threshold pinned to a quarter of the budget (the same wiring
+  ``--memory-limit`` installs) and chunked ingestion — recording each
+  child's own wall-clock and ``ru_maxrss``;
+* the DDL of every pair asserted byte-identical (the acceptance
+  criterion, not a statistic);
+* the spill child's ``peak_buffered_cells`` asserted O(chunk): at most
+  one flush page plus one input chunk per column, independent of the
+  dataset's row count.
+
+The table persists to ``benchmarks/results/oocore.txt`` and the
+machine-readable document to ``benchmarks/results/BENCH_oocore.json``.
+Absolute RSS numbers include the interpreter (~10-20 MB baseline), so
+the interesting signal is how the *memory* tier's footprint grows with
+scale while the *spill* tier's staging stays flat.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from _util import emit, emit_json
+from repro.evaluation.reporting import format_table
+from repro.structures.storage import PAGE_ROWS
+
+#: notional encoded-column budget the scales are multiples of
+BUDGET_BYTES = 256 * 1024
+
+ARITY = 8
+CHUNK_ROWS = 1024
+
+#: scale factor → rows such that 4 * rows * ARITY = factor * budget
+SCALES = {factor: factor * BUDGET_BYTES // (4 * ARITY) for factor in (1, 4, 16)}
+
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+#: the child: normalize, then report its own wall/RSS/staging footprint
+_CHILD = """\
+import json, resource, sys, time
+from repro.cli import main
+from repro.structures import storage
+
+csv_path, ddl_path, out_path = sys.argv[1:4]
+started = time.perf_counter()
+status = main([csv_path, "--ddl", ddl_path])
+wall = time.perf_counter() - started
+json.dump(
+    {
+        "status": status,
+        "wall_s": wall,
+        "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "peak_buffered_cells": storage.peak_buffered_cells(),
+        "counters": storage.counters_snapshot(),
+    },
+    open(out_path, "w"),
+)
+"""
+
+
+def _write_dataset(path: Path, rows: int) -> None:
+    """A relation with planted FD structure so discovery has work to do."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(",".join(f"c{i}" for i in range(ARITY)) + "\n")
+        for i in range(rows):
+            region = i % 19
+            handle.write(
+                f"{i},{region},r{region},{i % 257},{(i * 7) % 101},"
+                f"{i % 13},{(i % 13) * 3},{i % 5}\n"
+            )
+
+
+def _run_child(csv_path: Path, ddl_path: Path, policy: str) -> dict:
+    env = dict(os.environ, PYTHONPATH=_SRC)
+    env.pop("REPRO_STORAGE", None)
+    if policy == "spill":
+        # auto + a threshold of budget/4: the tier decision itself is
+        # budget-driven, exactly as `--memory-limit` wires it.
+        env["REPRO_STORAGE"] = "auto"
+        env["REPRO_SPILL_THRESHOLD"] = str(BUDGET_BYTES // 4)
+        env["REPRO_CHUNK_ROWS"] = str(CHUNK_ROWS)
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as out:
+        out_path = Path(out.name)
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD, str(csv_path), str(ddl_path), str(out_path)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        result = json.loads(out_path.read_text())
+    finally:
+        out_path.unlink(missing_ok=True)
+    assert result["status"] == 0
+    return result
+
+
+@pytest.mark.benchmark(group="oocore")
+def test_oocore_scaling(benchmark, tmp_path):
+    rows_by_scale = []
+
+    def run():
+        runs = {}
+        for factor, rows in sorted(SCALES.items()):
+            csv_path = tmp_path / f"scale{factor}.csv"
+            _write_dataset(csv_path, rows)
+            ddl_mem = tmp_path / f"scale{factor}-mem.sql"
+            ddl_spill = tmp_path / f"scale{factor}-spill.sql"
+            mem = _run_child(csv_path, ddl_mem, "memory")
+            spill = _run_child(csv_path, ddl_spill, "spill")
+
+            # The acceptance criterion: covers/DDL byte-identical.
+            assert ddl_mem.read_bytes() == ddl_spill.read_bytes()
+            # O(chunk) staging: one flush page + one chunk per column,
+            # regardless of how many rows streamed through.
+            ceiling = (PAGE_ROWS + CHUNK_ROWS) * ARITY
+            assert 0 < spill["peak_buffered_cells"] <= ceiling
+            assert spill["counters"]["spill_columns"] >= ARITY
+            assert (
+                spill["counters"]["spill_cells_written"] >= rows * ARITY
+            )
+
+            runs[factor] = {
+                "rows": rows,
+                "encoded_bytes": 4 * rows * ARITY,
+                "budget_multiple": factor,
+                "memory": {
+                    "wall_s": round(mem["wall_s"], 4),
+                    "maxrss_kb": mem["maxrss_kb"],
+                },
+                "spill": {
+                    "wall_s": round(spill["wall_s"], 4),
+                    "maxrss_kb": spill["maxrss_kb"],
+                    "peak_buffered_cells": spill["peak_buffered_cells"],
+                    "pages_written": spill["counters"]["spill_pages_written"],
+                },
+                "ddl_identical": True,
+            }
+        return runs
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = format_table(
+        [
+            "scale",
+            "rows",
+            "mem wall (s)",
+            "mem RSS (MB)",
+            "spill wall (s)",
+            "spill RSS (MB)",
+            "staged cells",
+        ],
+        [
+            [
+                f"{factor}x budget",
+                str(run["rows"]),
+                f"{run['memory']['wall_s']:.2f}",
+                f"{run['memory']['maxrss_kb'] / 1024:.1f}",
+                f"{run['spill']['wall_s']:.2f}",
+                f"{run['spill']['maxrss_kb'] / 1024:.1f}",
+                str(run["spill"]["peak_buffered_cells"]),
+            ]
+            for factor, run in sorted(runs.items())
+        ],
+    )
+    emit(
+        "out-of-core scaling (budget = 256 KiB of encoded columns; "
+        "DDL byte-identical at every scale):\n" + table,
+        filename="oocore",
+    )
+    emit_json(
+        "oocore",
+        {
+            "budget_bytes": BUDGET_BYTES,
+            "arity": ARITY,
+            "chunk_rows": CHUNK_ROWS,
+            "page_rows": PAGE_ROWS,
+            "runs": {str(factor): run for factor, run in runs.items()},
+        },
+    )

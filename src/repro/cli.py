@@ -89,6 +89,12 @@ def _graceful_shutdown() -> None:
         release_owned_segments()
     except Exception:  # pragma: no cover - teardown best effort
         pass
+    try:
+        from repro.structures.storage import release_process_spill
+
+        release_process_spill()
+    except Exception:  # pragma: no cover - teardown best effort
+        pass
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -211,10 +217,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=("level", "legacy", "auto"),
         help="FD-tree engine for the positive cover (default: "
-        "$REPRO_FDTREE or level = the level-indexed lattice engine; "
-        "legacy = the recursive baseline; auto = trie for narrow "
-        "relations, levels otherwise); covers are identical under "
-        "every engine",
+        "$REPRO_FDTREE or auto = legacy trie for narrow relations, "
+        "the level-indexed lattice engine otherwise; level = always "
+        "the lattice engine; legacy = the recursive baseline); covers "
+        "are identical under every engine",
+    )
+    parser.add_argument(
+        "--storage",
+        default=None,
+        choices=("memory", "auto", "spill"),
+        help="column-store residency policy (default: $REPRO_STORAGE or "
+        "memory = encoded columns stay on the heap; auto = stream "
+        "ingestion and spill to disk-backed mmap pages when the "
+        "encoded footprint would breach --memory-limit; spill = "
+        "always on disk); results are byte-identical under every "
+        "policy",
     )
     governance = parser.add_argument_group("resource governance")
     governance.add_argument(
@@ -255,6 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="EPS",
         help="g3 error tolerated when verifying sampled FDs against the "
         "full data (default: 0.0 = keep only exactly-holding FDs)",
+    )
+    governance.add_argument(
+        "--approximate",
+        action="store_true",
+        help="opt into sampled discovery up front: run discovery on a "
+        "--sample-rows sample, verify candidates against the full "
+        "data with the g3 measure, and report per-FD error bounds "
+        "(the degradation ladder's sampled rung as a first-class mode)",
     )
     governance.add_argument(
         "--checkpoint",
@@ -400,19 +425,61 @@ def _select_fdtree(name: str | None) -> None:
         fdtree.set_engine(name)
 
 
+def _select_storage(name: str | None) -> None:
+    """Apply ``--storage`` (validated eagerly, exit 2 on a bad name)."""
+    if name is not None:
+        from repro.structures import storage
+
+        storage.set_policy(name)
+
+
 def _main_normalize(argv: list[str]) -> int:
     args = build_parser().parse_args(argv)
     _select_kernel(args.kernel)
     _select_fdtree(args.fdtree)
-    instances = [
-        read_csv(
-            path,
-            delimiter=args.delimiter,
-            has_header=not args.no_header,
-            on_error=args.csv_errors,
+    _select_storage(args.storage)
+
+    budget = None
+    if args.deadline or args.memory_limit or args.max_candidates:
+        budget = Budget(
+            deadline_seconds=(
+                parse_duration(args.deadline) if args.deadline else None
+            ),
+            max_memory_bytes=(
+                parse_memory(args.memory_limit) if args.memory_limit else None
+            ),
+            max_candidates=args.max_candidates,
         )
-        for path in args.files
-    ]
+
+    # Ingestion runs before the governor exists, so hand --memory-limit
+    # to the storage layer directly: under --storage auto it is the
+    # spill threshold that keeps the encoded footprint off the heap.
+    from repro.structures import storage as _storage
+
+    with _storage.memory_budget(budget.max_memory_bytes if budget else None):
+        instances = [
+            read_csv(
+                path,
+                delimiter=args.delimiter,
+                has_header=not args.no_header,
+                on_error=args.csv_errors,
+            )
+            for path in args.files
+        ]
+
+    sampled = None
+    if args.approximate:
+        if args.load_fds:
+            raise SystemExit(
+                "--approximate cannot be combined with --load-fds"
+            )
+        from repro.discovery.sampled import SampledG3FD
+
+        sampled = SampledG3FD(
+            sample_rows=args.sample_rows,
+            approx_error=args.approx_error,
+            max_lhs_size=args.max_lhs_size,
+        )
 
     if args.profile:
         from repro.profiling import profile
@@ -421,7 +488,7 @@ def _main_normalize(argv: list[str]) -> int:
             print(
                 profile(
                     instance,
-                    fd_algorithm=args.algorithm,
+                    fd_algorithm=sampled if sampled is not None else args.algorithm,
                     workers=args.workers,
                 ).to_str()
             )
@@ -440,7 +507,7 @@ def _main_normalize(argv: list[str]) -> int:
             all_conform = all_conform and report.conforms
         return 0 if all_conform else 1
 
-    algorithm: object = args.algorithm
+    algorithm: object = sampled if sampled is not None else args.algorithm
     if args.load_fds:
         from repro.discovery.precomputed import PrecomputedFDs
         from repro.io.serialization import load_fdset
@@ -468,18 +535,6 @@ def _main_normalize(argv: list[str]) -> int:
         ).run(instances[0])
         print(four.to_str())
         return 0
-
-    budget = None
-    if args.deadline or args.memory_limit or args.max_candidates:
-        budget = Budget(
-            deadline_seconds=(
-                parse_duration(args.deadline) if args.deadline else None
-            ),
-            max_memory_bytes=(
-                parse_memory(args.memory_limit) if args.memory_limit else None
-            ),
-            max_candidates=args.max_candidates,
-        )
 
     resume_state = None
     checkpoint_path = args.checkpoint
@@ -529,6 +584,13 @@ def _main_normalize(argv: list[str]) -> int:
             f"discovery {stat.fd_discovery_seconds:.2f}s, "
             f"closure {stat.closure_seconds:.2f}s"
         )
+    if sampled is not None and sampled.reports:
+        print()
+        print("approximate discovery (g3 error bounds):")
+        for name, bounds in sampled.reports.items():
+            print(f"  [{name}]")
+            for bound in bounds:
+                print(f"    {bound}")
 
     if args.ddl:
         Path(args.ddl).write_text(
@@ -629,7 +691,14 @@ def build_apply_batch_parser(watch: bool = False) -> argparse.ArgumentParser:
         default=None,
         choices=("level", "legacy", "auto"),
         help="FD-tree engine for the positive cover "
-        "(default: $REPRO_FDTREE or level)",
+        "(default: $REPRO_FDTREE or auto)",
+    )
+    parser.add_argument(
+        "--storage",
+        default=None,
+        choices=("memory", "auto", "spill"),
+        help="column-store residency policy "
+        "(default: $REPRO_STORAGE or memory)",
     )
     parser.add_argument(
         "--ddl",
@@ -708,15 +777,7 @@ def _main_apply_batch(argv: list[str], watch: bool) -> int:
     args = build_apply_batch_parser(watch=watch).parse_args(argv)
     _select_kernel(args.kernel)
     _select_fdtree(args.fdtree)
-    instances = [
-        read_csv(
-            path,
-            delimiter=args.delimiter,
-            has_header=not args.no_header,
-            on_error=args.csv_errors,
-        )
-        for path in args.files
-    ]
+    _select_storage(args.storage)
 
     budget = None
     if args.deadline or args.memory_limit or args.max_candidates:
@@ -729,6 +790,19 @@ def _main_apply_batch(argv: list[str], watch: bool) -> int:
             ),
             max_candidates=args.max_candidates,
         )
+
+    from repro.structures import storage as _storage
+
+    with _storage.memory_budget(budget.max_memory_bytes if budget else None):
+        instances = [
+            read_csv(
+                path,
+                delimiter=args.delimiter,
+                has_header=not args.no_header,
+                on_error=args.csv_errors,
+            )
+            for path in args.files
+        ]
 
     if args.resume and not args.journal:
         raise InputError("--resume requires --journal FILE")
@@ -900,6 +974,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="FD-tree engine policy (auto = legacy trie for narrow "
         "relations, level-indexed bitset engine otherwise)",
     )
+    parser.add_argument(
+        "--storage",
+        default=None,
+        choices=("memory", "auto", "spill"),
+        help="column-store residency policy for uploaded datasets "
+        "(default: $REPRO_STORAGE or memory; spilled sessions keep "
+        "their pages under the session's --resume-dir entry)",
+    )
     return parser
 
 
@@ -907,6 +989,7 @@ def _main_serve(argv: list[str]) -> int:
     args = build_serve_parser().parse_args(argv)
     _select_kernel(args.kernel)
     _select_fdtree(args.fdtree)
+    _select_storage(args.storage)
     if args.workers is not None:
         import os
 

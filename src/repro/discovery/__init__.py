@@ -29,6 +29,7 @@ from repro.discovery.ind import (
     verify_foreign_keys,
 )
 from repro.discovery.precomputed import PrecomputedFDs
+from repro.discovery.sampled import SampledG3FD
 from repro.discovery.tane import Tane
 from repro.discovery.ucc import DuccUCC, NaiveUCC, discover_uccs
 
@@ -42,6 +43,7 @@ __all__ = [
     "HyUCC",
     "NaiveUCC",
     "PrecomputedFDs",
+    "SampledG3FD",
     "Tane",
     "discover_fds",
     "discover_uccs",

@@ -103,6 +103,45 @@ class RelationInstance:
                 columns_data[index].append(value)
         return cls(relation, columns_data)
 
+    @classmethod
+    def from_encoded(
+        cls, relation: Relation, encoding: Any, decode_tables: Sequence[list]
+    ) -> "RelationInstance":
+        """Build an instance around an existing encoding (chunked ingestion).
+
+        ``columns_data`` becomes lazy
+        :class:`~repro.structures.encoding.DecodedColumn` views over the
+        encoding's code vectors and the ingester's id → value tables, so
+        the raw values are never materialized as per-row Python lists —
+        the whole point of the streaming CSV path.  The encoding is
+        installed as the memo for its NULL semantics; a request for the
+        *other* semantics re-encodes from the lazy columns, which decode
+        to the original values and therefore produce the exact ids a
+        list-backed instance would.
+
+        Bypasses ``__init__`` deliberately: its ``list(column)`` copy
+        would defeat the laziness (mutating callers always re-wrap via
+        ``__init__``/``from_rows``, which still materializes — see
+        ``LiveRelation``).
+        """
+        from repro.structures.encoding import DecodedColumn
+
+        if encoding.arity != relation.arity:
+            raise ValueError(
+                f"relation {relation.name!r} has {relation.arity} columns but "
+                f"the encoding has {encoding.arity}"
+            )
+        self = cls.__new__(cls)
+        self.relation = relation
+        self.columns_data = [
+            DecodedColumn(codes, table)
+            for codes, table in zip(encoding.codes, decode_tables)
+        ]
+        self._encodings = {}
+        self._data_version = 0
+        self.install_encoding(encoding.null_equals_null, encoding)
+        return self
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
@@ -171,10 +210,16 @@ class RelationInstance:
     # ------------------------------------------------------------------
     def has_null_in(self, mask: int) -> bool:
         """True iff any column in ``mask`` contains a NULL (None) value."""
-        return any(
-            any(value is None for value in self.columns_data[i])
-            for i in iter_bits(mask)
-        )
+        for i in iter_bits(mask):
+            column = self.columns_data[i]
+            # Lazy decoded columns answer from their (small) decode
+            # table instead of scanning every cell.
+            flag = getattr(column, "has_null", None)
+            if flag is None:
+                flag = any(value is None for value in column)
+            if flag:
+                return True
+        return False
 
     def max_value_length(self, mask: int) -> int:
         """Longest value in the (concatenated) columns of ``mask``.

@@ -590,8 +590,10 @@ class WorkerPool:
             self._reap_dead()
             return
         from repro.parallel.shm import reap_orphan_segments
+        from repro.structures.storage import reap_orphan_spill_dirs
 
         reap_orphan_segments()
+        reap_orphan_spill_dirs()
         self._cancel = _RawFlag(self._ctx)
         # Raw (lock-free) on purpose: the parent is the only writer and
         # a synchronized Value's lock could be stranded by worker death.
@@ -975,17 +977,23 @@ def shutdown_pool() -> None:
     """Close the shared pool (idempotent; registered atexit).
 
     Also releases any shared-memory segments this process still owns
-    and reaps segments orphaned by dead processes, so a full teardown
-    leaves ``/dev/shm`` clean.
+    and reaps segments *and spill directories* orphaned by dead
+    processes, so a full teardown leaves ``/dev/shm`` and the spill
+    base directory clean.  This process's own spill directory is *not*
+    released here — live spilled encodings may outlast the pool; the
+    storage module's ``atexit`` hook and the CLI signal boundary cover
+    it.
     """
     global _POOL
     if _POOL is not None:
         _POOL.close()
         _POOL = None
     from repro.parallel.shm import reap_orphan_segments, release_owned_segments
+    from repro.structures.storage import reap_orphan_spill_dirs
 
     release_owned_segments()
     reap_orphan_segments()
+    reap_orphan_spill_dirs()
 
 
 def note_serial_fallback() -> None:

@@ -47,6 +47,7 @@ from array import array
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
+from repro.structures import storage
 from repro.structures.encoding import EncodedRelation
 
 __all__ = [
@@ -215,15 +216,23 @@ class SharedRelation:
         self.close()
 
 
-def export_encoding(encoding: EncodedRelation) -> SharedRelation:
-    """Copy an encoding's code vectors into a fresh shared segment.
+def export_encoding(encoding: EncodedRelation):
+    """Export an encoding's code vectors for worker attachment.
 
-    Layout: column ``a`` occupies the half-open int32 range
-    ``[a * num_rows, (a + 1) * num_rows)``.  The one memcpy per column
-    here is the only copy the parallel backend ever makes of row data.
+    Memory-resident encodings are copied into a fresh shared segment:
+    column ``a`` occupies the half-open int32 range
+    ``[a * num_rows, (a + 1) * num_rows)``, and that one memcpy per
+    column is the only copy the parallel backend ever makes of row
+    data.  *Spilled* encodings need no copy at all — their columns are
+    already files every worker can map, so the export is just a
+    :class:`~repro.structures.storage.FileHandle` wrapped in a
+    zero-cost :class:`~repro.structures.storage.SpilledRelation`.
     """
     import time
 
+    store = getattr(encoding, "store", None)
+    if store is not None:
+        return storage.SpilledRelation(store.handle(encoding))
     started = time.perf_counter()
     num_rows = encoding.num_rows
     arity = encoding.arity
@@ -246,19 +255,23 @@ def export_encoding(encoding: EncodedRelation) -> SharedRelation:
     return SharedRelation(handle, shm, time.perf_counter() - started)
 
 
-def attach_encoding(
-    handle: ShmHandle,
-) -> tuple[EncodedRelation, shared_memory.SharedMemory]:
-    """Worker-side: map the segment and view it as an ``EncodedRelation``.
+def attach_encoding(handle):
+    """Worker-side: map the exported columns as an ``EncodedRelation``.
 
-    The returned encoding's ``codes`` are zero-copy ``memoryview``
-    casts into the mapped segment; every consumer (``PLICache``,
-    ``StrippedPartition.from_value_ids`` / ``intersect_ids``,
-    ``agree_set``) only indexes and iterates them, which memoryviews
-    support.  The caller must keep the returned ``SharedMemory`` object
-    alive as long as the encoding is in use and ``close()`` it when
-    done (the pool's per-worker attachment cache handles both).
+    Dispatches on the handle kind: a
+    :class:`~repro.structures.storage.FileHandle` maps the spill
+    tier's column files, a :class:`ShmHandle` maps the shared segment.
+    Either way the returned encoding's ``codes`` are zero-copy
+    ``memoryview`` casts into the mapping; every consumer
+    (``PLICache``, ``StrippedPartition.from_value_ids`` /
+    ``intersect_ids``, ``agree_set``) only indexes and iterates them,
+    which memoryviews support.  The caller must keep the returned
+    attachment object alive as long as the encoding is in use and
+    ``close()`` it when done (the pool's per-worker attachment cache
+    handles both).
     """
+    if isinstance(handle, storage.FileHandle):
+        return storage.attach_file_handle(handle)
     shm = shared_memory.SharedMemory(name=handle.segment)
     num_rows = handle.num_rows
     codes: list = []

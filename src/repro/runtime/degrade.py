@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from repro.model.fd import FDSet
 from repro.model.instance import RelationInstance
 from repro.runtime.errors import BudgetExceeded
-from repro.runtime.governor import Governor, activate, checkpoint, suspended
+from repro.runtime.governor import Governor, activate, suspended
 
 __all__ = [
     "FidelityReport",
@@ -227,6 +227,7 @@ def discover_with_ladder(
     fidelity = RelationFidelity(relation=instance.name)
     if governor is None:
         fds = algorithm.discover(instance)
+        _note_sampled(fidelity, algorithm, approx_error)
         fidelity.attempts.append(
             StageAttempt(_stage_name(algorithm), "ok", num_fds=len(fds))
         )
@@ -301,12 +302,27 @@ def _stage_name(algorithm) -> str:
     return getattr(algorithm, "name", type(algorithm).__name__)
 
 
+def _note_sampled(fidelity, algorithm, approx_error) -> None:
+    """Mark the report sampled when the *primary* algorithm sampled.
+
+    ``repro --approximate`` installs :class:`SampledG3FD` as the main
+    discoverer; its runs must carry the same fidelity labelling as the
+    ladder's own sampled rung.
+    """
+    sampled = getattr(algorithm, "last_sampled_rows", None)
+    if sampled is not None:
+        fidelity.fidelity = "sampled"
+        fidelity.sampled_rows = sampled
+        fidelity.sound = approx_error == 0.0
+
+
 def _build_rungs(instance, algorithm, sample_rows, approx_error, seed):
     """The (stage-name, runner) sequence for this ladder descent."""
     primary_name = _stage_name(algorithm)
 
     def run_primary(fidelity):
-        return algorithm.discover(instance), None
+        fds = algorithm.discover(instance)
+        return fds, getattr(algorithm, "last_sampled_rows", None)
 
     rungs = [(primary_name, run_primary)]
 
@@ -337,45 +353,24 @@ def _build_rungs(instance, algorithm, sample_rows, approx_error, seed):
 def _sampled_discovery(
     instance, algorithm, sample_rows, approx_error, seed, fidelity
 ):
-    """Rung 3: discover on a row sample, g3-verify on the full relation."""
-    from repro.discovery.hyfd import HyFD
-    from repro.extensions.approximate import g3_error
+    """Rung 3: discover on a row sample, g3-verify on the full relation.
 
-    null_equals_null = getattr(algorithm, "null_equals_null", True)
-    sample, sampled = sample_instance_rows(instance, sample_rows, seed)
-    candidate_fds = HyFD(
-        null_equals_null=null_equals_null,
+    Delegates to :class:`repro.discovery.sampled.SampledG3FD` — the
+    same procedure is exposed as a first-class algorithm for
+    ``repro --approximate`` — while preserving the ladder's salvage
+    semantics (truncated verification keeps verified FDs only).
+    """
+    from repro.discovery.sampled import SampledG3FD
+
+    runner = SampledG3FD(
+        null_equals_null=getattr(algorithm, "null_equals_null", True),
         max_lhs_size=getattr(algorithm, "max_lhs_size", None),
-    ).discover(sample)
-    if sampled == instance.num_rows:
-        # Nothing was actually sampled: the result is exact as-is.
-        return candidate_fds, None
-
-    kept = FDSet(instance.arity)
+        sample_rows=sample_rows,
+        approx_error=approx_error,
+        seed=seed,
+    )
     try:
-        from repro.structures.partitions import column_value_ids
-
-        probes = [
-            column_value_ids(column, null_equals_null)
-            for column in instance.columns_data
-        ]
-        for lhs, rhs_mask in sorted(candidate_fds.items()):
-            rhs = rhs_mask
-            attr = 0
-            while rhs:
-                if rhs & 1:
-                    checkpoint("sampled-verify", units=max(instance.num_rows, 1))
-                    error = g3_error(
-                        instance,
-                        lhs,
-                        attr,
-                        null_equals_null,
-                        probes=probes,
-                    )
-                    if error <= approx_error:
-                        kept.add_masks(lhs, 1 << attr)
-                rhs >>= 1
-                attr += 1
+        fds = runner.discover(instance)
     except BudgetExceeded as exc:
         # Keep only what was verified so far; unverified candidates are
         # dropped rather than trusted (losslessness over completeness).
@@ -384,7 +379,5 @@ def _sampled_discovery(
                 f"g3 verification truncated by {exc.reason}; "
                 "unverified sampled FDs were dropped"
             )
-        exc.partial = kept
-        exc.partial_exact = approx_error == 0.0
         raise
-    return kept, sampled
+    return fds, runner.last_sampled_rows

@@ -56,6 +56,7 @@ from repro.runtime.errors import (
     WorkerCrashError,
 )
 from repro.server.protocol import (
+    DEFAULT_SPOOL_THRESHOLD,
     ProtocolError,
     Request,
     Response,
@@ -94,6 +95,8 @@ class ServerConfig:
     idle_ttl: float = 3600.0
     max_body_bytes: int = DEFAULT_MAX_BODY
     drain_timeout: float = 10.0
+    #: bodies above this stream to disk instead of the heap
+    spool_threshold_bytes: int = DEFAULT_SPOOL_THRESHOLD
 
 
 class _NotFound(Exception):
@@ -123,6 +126,17 @@ class ReproServer:
         self.requests_total = 0
         self._servers: list[asyncio.base_events.Server] = []
         self.bound_port: int | None = None
+        #: where oversized request bodies stream to; inside --resume-dir
+        #: when persistence is on (same filesystem as the session
+        #: directories, so accepting an upload is a rename, not a copy)
+        if self.config.resume_dir is not None:
+            self._spool_dir = Path(self.config.resume_dir) / ".spool"
+        else:
+            import tempfile
+
+            self._spool_dir = (
+                Path(tempfile.gettempdir()) / f"repro-serve-spool-{os.getpid()}"
+            )
 
     # ------------------------------------------------------------------
     # Fair compute gate
@@ -183,7 +197,10 @@ class ReproServer:
             while not self._draining:
                 try:
                     request = await read_request(
-                        reader, self.config.max_body_bytes
+                        reader,
+                        self.config.max_body_bytes,
+                        spool_dir=self._spool_dir,
+                        spool_threshold=self.config.spool_threshold_bytes,
                     )
                 except ProtocolError as exc:
                     response = json_response(
@@ -201,6 +218,10 @@ class ReproServer:
                 try:
                     response = await self._dispatch(request)
                 finally:
+                    # The upload endpoint moves the spool file into the
+                    # session directory; for every other outcome the
+                    # file is garbage once the request completes.
+                    request.discard_body()
                     self._inflight -= 1
                     if self._inflight == 0:
                         self._idle.set()
@@ -334,7 +355,7 @@ class ReproServer:
     async def _create_session(
         self, tenant: str, request: Request
     ) -> Response:
-        if not request.body:
+        if not request.has_body:
             raise InputError(
                 "session creation needs the dataset CSV as the request body"
             )
@@ -358,7 +379,10 @@ class ReproServer:
             tenant,
             self.registry.create,
             tenant,
-            request.body,
+            # A spooled upload is handed over as its file path; the
+            # registry takes ownership (moves it into the session
+            # directory) and the CSV is parsed straight off disk.
+            request.body_path if request.body_path is not None else request.body,
             name,
             options,
             session_id,
@@ -547,6 +571,9 @@ class ReproServer:
     def _release_resources() -> None:
         shutdown_pool()
         release_owned_segments()
+        from repro.structures.storage import release_process_spill
+
+        release_process_spill()
 
     async def run_until_shutdown(self, ready: asyncio.Event | None = None) -> None:
         """start() → announce → sweep idle sessions → drain on signal."""

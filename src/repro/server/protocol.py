@@ -24,12 +24,17 @@ status code the connection loop turns into a response.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 __all__ = [
     "MAX_HEADER_BYTES",
+    "DEFAULT_SPOOL_THRESHOLD",
     "ProtocolError",
     "error_payload",
     "Request",
@@ -44,6 +49,13 @@ __all__ = [
 #: request line + header block ceiling; a client that needs more is
 #: confused or hostile
 MAX_HEADER_BYTES = 32 * 1024
+
+#: bodies above this are spooled to disk instead of buffered in RAM
+#: (uploaded CSVs used to cost O(dataset) heap per in-flight request)
+DEFAULT_SPOOL_THRESHOLD = 1 * 1024 * 1024
+
+#: read granularity while streaming a spooled body off the socket
+_SPOOL_CHUNK = 64 * 1024
 
 #: reason phrases for every status the server emits
 STATUS_REASONS = {
@@ -75,7 +87,14 @@ class ProtocolError(Exception):
 
 @dataclass(slots=True)
 class Request:
-    """One parsed HTTP request."""
+    """One parsed HTTP request.
+
+    Large bodies are *spooled*: ``body`` stays empty and ``body_path``
+    names an on-disk file holding the bytes (see :func:`read_request`).
+    The connection loop owns the file's lifetime via
+    :meth:`discard_body`; a handler that wants to keep the bytes (the
+    upload endpoint) must move the file before the request completes.
+    """
 
     method: str
     target: str
@@ -83,21 +102,41 @@ class Request:
     query: dict[str, str]
     headers: dict[str, str]
     body: bytes = b""
+    body_path: Path | None = None
 
     @property
     def keep_alive(self) -> bool:
         return self.headers.get("connection", "").lower() != "close"
 
+    @property
+    def has_body(self) -> bool:
+        return bool(self.body) or self.body_path is not None
+
     def json(self):
         """The body parsed as JSON; 400 on anything else."""
-        if not self.body:
+        body = self.body
+        if not body and self.body_path is not None:
+            try:
+                body = self.body_path.read_bytes()
+            except OSError as exc:
+                raise ProtocolError(
+                    400, f"spooled request body unreadable: {exc}"
+                ) from None
+        if not body:
             raise ProtocolError(400, "request body must be a JSON document")
         try:
-            return json.loads(self.body.decode("utf-8"))
+            return json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:
             raise ProtocolError(
                 400, f"request body is not valid JSON: {exc}"
             ) from None
+
+    def discard_body(self) -> None:
+        """Delete the spool file, if any; idempotent, never raises."""
+        if self.body_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self.body_path)
+            self.body_path = None
 
     def param(self, name: str, default: str | None = None) -> str | None:
         return self.query.get(name, default)
@@ -134,13 +173,23 @@ def text_response(
 
 
 async def read_request(
-    reader: asyncio.StreamReader, max_body_bytes: int
+    reader: asyncio.StreamReader,
+    max_body_bytes: int,
+    spool_dir: str | Path | None = None,
+    spool_threshold: int = DEFAULT_SPOOL_THRESHOLD,
 ) -> Request | None:
     """Parse one request off the stream; ``None`` on a clean EOF.
 
     A clean EOF before any byte of a request line means the client hung
     up between keep-alive requests — not an error.  EOF in the middle
     of a request is a 400.
+
+    With ``spool_dir`` set, bodies larger than ``spool_threshold`` are
+    streamed to a temp file there in :data:`_SPOOL_CHUNK` slices and
+    surfaced as :attr:`Request.body_path` — the server never holds a
+    whole uploaded dataset in its heap.  Oversized bodies are still
+    refused with 413 straight from the ``Content-Length`` header,
+    before a single body byte is read.
     """
     try:
         head = await reader.readuntil(b"\r\n\r\n")
@@ -182,6 +231,7 @@ async def read_request(
         )
 
     body = b""
+    body_path: Path | None = None
     length_text = headers.get("content-length")
     if length_text is not None:
         try:
@@ -198,10 +248,15 @@ async def read_request(
                 f"request body of {length} bytes exceeds the server's "
                 f"{max_body_bytes}-byte limit",
             )
-        try:
-            body = await reader.readexactly(length)
-        except asyncio.IncompleteReadError:
-            raise ProtocolError(400, "connection closed mid-body") from None
+        if spool_dir is not None and length > spool_threshold:
+            body_path = await _spool_body(reader, length, spool_dir)
+        else:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise ProtocolError(
+                    400, "connection closed mid-body"
+                ) from None
 
     split = urlsplit(target)
     query = dict(parse_qsl(split.query, keep_blank_values=True))
@@ -212,7 +267,34 @@ async def read_request(
         query=query,
         headers=headers,
         body=body,
+        body_path=body_path,
     )
+
+
+async def _spool_body(
+    reader: asyncio.StreamReader, length: int, spool_dir: str | Path
+) -> Path:
+    """Stream exactly ``length`` body bytes into a temp file."""
+    directory = Path(spool_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        prefix="upload-", suffix=".body", dir=directory, delete=False
+    )
+    path = Path(handle.name)
+    try:
+        with handle:
+            remaining = length
+            while remaining:
+                chunk = await reader.read(min(_SPOOL_CHUNK, remaining))
+                if not chunk:
+                    raise ProtocolError(400, "connection closed mid-body")
+                handle.write(chunk)
+                remaining -= len(chunk)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(path)
+        raise
+    return path
 
 
 async def write_response(

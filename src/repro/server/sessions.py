@@ -60,6 +60,8 @@ import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from contextlib import ExitStack
+
 from repro.incremental.changes import ChangeBatch
 from repro.incremental.engine import BatchOutcome, IncrementalNormalizer
 from repro.incremental.journal import resume_engine
@@ -67,6 +69,7 @@ from repro.io.csv_io import read_csv
 from repro.model.instance import RelationInstance
 from repro.runtime.errors import CheckpointError, InputError
 from repro.runtime.governor import Budget, parse_duration, parse_memory
+from repro.structures import storage
 
 __all__ = [
     "Session",
@@ -119,6 +122,9 @@ class SessionOptions:
     deadline: str | None = None
     memory_limit: str | None = None
     max_candidates: int | None = None
+    #: column-store residency policy for this session's encodings;
+    #: ``None`` inherits the daemon-wide policy (--storage / env)
+    storage: str | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("hyfd", "tane", "dfd", "bruteforce"):
@@ -132,6 +138,11 @@ class SessionOptions:
             raise InputError(f"unknown closure algorithm {self.closure!r}")
         if self.csv_errors not in ("strict", "pad", "skip"):
             raise InputError(f"unknown csv_errors policy {self.csv_errors!r}")
+        if self.storage is not None and self.storage not in storage.POLICY_CHOICES:
+            raise InputError(
+                f"unknown storage policy {self.storage!r}; choose from "
+                f"{storage.POLICY_CHOICES}"
+            )
         # Parse eagerly so a bad budget string is a 400 at session
         # creation, not a surprise inside the first governed batch.
         self.budget()
@@ -173,6 +184,7 @@ class SessionOptions:
             "deadline": self.deadline,
             "memory_limit": self.memory_limit,
             "max_candidates": self.max_candidates,
+            "storage": self.storage,
         }
 
     @classmethod
@@ -185,7 +197,7 @@ class SessionOptions:
         """Build options from query parameters (all strings)."""
         kwargs: dict = {}
         for key in ("algorithm", "target", "closure", "delimiter",
-                    "deadline", "memory_limit", "csv_errors"):
+                    "deadline", "memory_limit", "csv_errors", "storage"):
             value = params.get(key)
             if value:
                 kwargs[key] = value
@@ -425,12 +437,19 @@ class SessionRegistry:
     def create(
         self,
         tenant: str,
-        csv_bytes: bytes,
+        csv_source: "bytes | str | Path",
         relation_name: str,
         options: SessionOptions,
         session_id: str | None = None,
     ) -> Session:
-        """Ingest a dataset and run governed discovery + normalization."""
+        """Ingest a dataset and run governed discovery + normalization.
+
+        ``csv_source`` is either the raw CSV bytes or a *path* to a
+        spooled upload (see :func:`repro.server.protocol.read_request`).
+        A path is taken over: with persistence it is moved (renamed)
+        into the session directory and parsed straight off disk, so the
+        dataset never occupies the server's heap whole.
+        """
         validate_name("tenant", tenant)
         validate_name("relation name", relation_name)
         if session_id is None:
@@ -444,19 +463,46 @@ class SessionRegistry:
                 f"{tenant!r}",
             )
 
-        instance = read_csv(
-            csv_bytes,
-            name=relation_name,
-            delimiter=options.delimiter,
-            has_header=options.has_header,
-            on_error=options.csv_errors,
+        source_path = (
+            Path(csv_source) if isinstance(csv_source, (str, Path)) else None
         )
-
         directory = self._session_dir(tenant, session_id)
         journal_path = None
+        created_directory = False
         if directory is not None:
+            created_directory = not directory.exists()
             directory.mkdir(parents=True, exist_ok=True)
-            (directory / _DATASET_FILE).write_bytes(csv_bytes)
+            dataset = directory / _DATASET_FILE
+            if source_path is not None:
+                shutil.move(str(source_path), dataset)
+            else:
+                dataset.write_bytes(csv_source)
+            source_path = dataset
+            journal_path = directory / _JOURNAL_FILE
+
+        try:
+            with self._session_storage(directory, options):
+                instance = read_csv(
+                    source_path if source_path is not None else csv_source,
+                    name=relation_name,
+                    delimiter=options.delimiter,
+                    has_header=options.has_header,
+                    on_error=options.csv_errors,
+                )
+                engine = IncrementalNormalizer(
+                    instance,
+                    journal_path=journal_path,
+                    **options.engine_kwargs(),
+                )
+        except BaseException:
+            # The dataset was moved in but the session never came to
+            # exist (bad CSV, budget breach, ...); leave no half-made
+            # directory behind.  meta.json is written only on success,
+            # so a crash here can never revive as a broken session.
+            if created_directory and directory is not None:
+                shutil.rmtree(directory, ignore_errors=True)
+            raise
+        if directory is not None:
             meta = {
                 "tenant": tenant,
                 "session": session_id,
@@ -466,11 +512,6 @@ class SessionRegistry:
             (directory / _META_FILE).write_text(
                 json.dumps(meta, indent=2, sort_keys=True), encoding="utf-8"
             )
-            journal_path = directory / _JOURNAL_FILE
-
-        engine = IncrementalNormalizer(
-            instance, journal_path=journal_path, **options.engine_kwargs()
-        )
         self.counters["discovery_runs"] += 1
         session = Session(
             tenant, session_id, instance.name, options, engine, directory
@@ -478,6 +519,25 @@ class SessionRegistry:
         self._register(session)
         self.counters["sessions_created"] += 1
         return session
+
+    @staticmethod
+    def _session_storage(
+        directory: Path | None, options: SessionOptions
+    ) -> ExitStack:
+        """The storage context for one session's heavy work.
+
+        Applies the session's residency policy override (if any) and —
+        for persisted sessions — routes spill pages into the session's
+        own ``spill/`` subdirectory so ``DELETE`` and daemon restarts
+        reclaim them with the directory.
+        """
+        stack = ExitStack()
+        stack.enter_context(storage.policy_override(options.storage))
+        if directory is not None:
+            stack.enter_context(
+                storage.spill_dir_override(directory / "spill")
+            )
+        return stack
 
     # ------------------------------------------------------------------
     # Revival (runs in a worker thread — restores without rediscovery)
@@ -509,34 +569,38 @@ class SessionRegistry:
                 f"session directory {directory} is corrupt: {exc}"
             ) from exc
 
-        source = read_csv(
-            (directory / _DATASET_FILE).read_bytes(),
-            name=relation_name,
-            delimiter=options.delimiter,
-            has_header=options.has_header,
-            on_error=options.csv_errors,
-        )
         batches = _load_changelog_lines(directory / _CHANGES_FILE)
         journal_path = directory / _JOURNAL_FILE
 
         resumed = False
-        if journal_path.exists():
-            engine = resume_engine(
-                [source],
-                batches,
-                journal_path,
-                **options.engine_kwargs(),
+        with self._session_storage(directory, options):
+            # The dataset is parsed off its on-disk path (not slurped
+            # into bytes first); under a spill policy the revived
+            # encodings land back in this session's spill/ directory.
+            source = read_csv(
+                directory / _DATASET_FILE,
+                name=relation_name,
+                delimiter=options.delimiter,
+                has_header=options.has_header,
+                on_error=options.csv_errors,
             )
-            self.counters["journal_hits"] += 1
-            resumed = True
-        else:
-            # The process died before the first journal write (or the
-            # journal was lost); discovery is unavoidable exactly once.
-            engine = IncrementalNormalizer(
-                source, journal_path=journal_path, **options.engine_kwargs()
-            )
-            self.counters["journal_misses"] += 1
-            self.counters["discovery_runs"] += 1
+            if journal_path.exists():
+                engine = resume_engine(
+                    [source],
+                    batches,
+                    journal_path,
+                    **options.engine_kwargs(),
+                )
+                self.counters["journal_hits"] += 1
+                resumed = True
+            else:
+                # The process died before the first journal write (or the
+                # journal was lost); discovery is unavoidable exactly once.
+                engine = IncrementalNormalizer(
+                    source, journal_path=journal_path, **options.engine_kwargs()
+                )
+                self.counters["journal_misses"] += 1
+                self.counters["discovery_runs"] += 1
 
         session = Session(
             tenant,
@@ -557,14 +621,15 @@ class SessionRegistry:
             session.migration_log = []
 
         # Converge: apply the changelog tail the journal never saw.
-        for batch in batches[engine.applied_batches:]:
-            outcome = engine.apply_batch(batch)
-            if outcome.schema_changed:
-                session.migration_log.append(
-                    f"-- batch {outcome.batch_index} "
-                    f"({outcome.relation})\n" + outcome.migration.to_sql()
-                )
-            self.counters["batches_applied"] += 1
+        with self._session_storage(directory, options):
+            for batch in batches[engine.applied_batches:]:
+                outcome = engine.apply_batch(batch)
+                if outcome.schema_changed:
+                    session.migration_log.append(
+                        f"-- batch {outcome.batch_index} "
+                        f"({outcome.relation})\n" + outcome.migration.to_sql()
+                    )
+                self.counters["batches_applied"] += 1
         session._write_migrations()
 
         self._register(session)
@@ -590,7 +655,8 @@ class SessionRegistry:
 
         applied_before = session.engine.applied_batches
         try:
-            outcome = session.apply_batch(batch)
+            with self._session_storage(session.directory, session.options):
+                outcome = session.apply_batch(batch)
         except BudgetExceeded:
             session.rollback_changelog(applied_before)
             self.discard(session)

@@ -37,12 +37,12 @@ sorted-path DFS order exactly, so every downstream consumer sees
 byte-identical covers (pinned by ``tests/test_fdtree_differential.py``).
 
 Engine selection mirrors the kernel registry: ``set_engine()`` /
-``REPRO_FDTREE`` choose between ``level`` (this module, the default),
-``legacy`` (:mod:`repro.structures.fdtree_legacy`, the recursive
-baseline), and ``auto`` (per-tree width dispatch: the trie at or below
-:data:`AUTO_LEGACY_MAX_ATTRIBUTES` attributes, levels above — see
-:func:`resolve_engine`); the CLI exposes ``--fdtree`` and the worker
-pool ships the requested engine name with every task.
+``REPRO_FDTREE`` choose between ``auto`` (the default: per-tree width
+dispatch — the trie at or below :data:`AUTO_LEGACY_MAX_ATTRIBUTES`
+attributes, levels above; see :func:`resolve_engine`), ``level`` (this
+module), and ``legacy`` (:mod:`repro.structures.fdtree_legacy`, the
+recursive baseline); the CLI exposes ``--fdtree`` and the worker pool
+ships the requested engine name with every task.
 """
 
 from __future__ import annotations
@@ -137,7 +137,11 @@ def engine_name() -> str:
         return _requested
     raw = os.environ.get("REPRO_FDTREE", "").strip().lower()
     if not raw:
-        return "level"
+        # ``auto`` became the default once the width heuristic soaked:
+        # narrow lattices get the faster trie, wide ones the level
+        # sweeps, and the resolution is a pure function of the relation
+        # so byte-identity is unaffected (ROADMAP item 3).
+        return "auto"
     if raw not in ENGINE_CHOICES:
         from repro.runtime.errors import InputError
 

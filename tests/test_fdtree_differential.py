@@ -525,11 +525,13 @@ class TestPruneShrinksTraversal:
 # Engine selection & process plumbing
 # ----------------------------------------------------------------------
 class TestEngineSelection:
-    def test_default_is_level(self, monkeypatch):
+    def test_default_is_auto(self, monkeypatch):
         monkeypatch.delenv("REPRO_FDTREE", raising=False)
         fdtree.set_engine(None)
-        assert fdtree.engine_name() == "level"
-        assert type(FDTree(4)) is FDTree
+        assert fdtree.engine_name() == "auto"
+        # auto dispatches on width: trie for narrow, levels for wide.
+        assert isinstance(FDTree(4), LegacyFDTree)
+        assert type(FDTree(fdtree.AUTO_LEGACY_MAX_ATTRIBUTES + 1)) is FDTree
 
     def test_set_engine_selects_legacy(self):
         fdtree.set_engine("legacy")
@@ -649,9 +651,9 @@ class TestAutoEngine:
         yield
         fdtree.set_engine(None)
 
-    def test_default_stays_level(self):
+    def test_default_is_auto(self):
         fdtree.set_engine(None)
-        assert fdtree.engine_name() == "level"
+        assert fdtree.engine_name() == "auto"
 
     def test_auto_dispatches_on_width(self):
         fdtree.set_engine("auto")
